@@ -1,0 +1,28 @@
+//! TGL-style baseline framework.
+//!
+//! The paper compares TGLite against **TGL** (Zhou et al., VLDB'22),
+//! an MFG-based temporal-GNN training framework. This crate mirrors
+//! TGL's structure so the comparison isolates exactly what the paper
+//! isolates:
+//!
+//! * [`Mfg`] — a standalone message-flow graph. Unlike a `TBlock`, an
+//!   MFG (a) requires both destination *and* source information
+//!   upfront, (b) has no predecessor/successor links, (c) has no hooks
+//!   mechanism, and (d) requires all of its associated tensor data to
+//!   be resident on the compute device, materialized eagerly at
+//!   construction and retained for the batch's lifetime (this is the
+//!   memory behaviour behind the paper's Table 7 OOM entries).
+//! * Baseline implementations of the same four models, sharing the
+//!   same tensor kernels as the TGLite versions but with no
+//!   dedup/cache/time-precompute operators and pageable (unpinned)
+//!   host→device transfers.
+//!
+//! Like TGL, the baseline computes neighbor time deltas during
+//! sampling (fused into MFG construction) — the small structural
+//! advantage the paper's Fig. 7 breakdown attributes to TGL.
+
+mod mfg;
+mod models;
+
+pub use mfg::Mfg;
+pub use models::{BaselineApan, BaselineJodie, BaselineTgat, BaselineTgn};

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 5** — training time per epoch (seconds) with
+//! all data resident on device memory (the all-on-GPU case), for the
+//! four models × four standard datasets × {TGL, TGLite, TGLite+opt}.
+//!
+//! Expected shape (paper §5.2.1): TGLite ≈ TGL (the `preload()`
+//! operator has no effect when data is already on device), TGLite+opt
+//! faster than TGL via dedup (paper: 1.06–1.81×).
+//!
+//! Shares the cached standard grid with table4/table5.
+
+use tgl_bench::{grid_lookup, preamble, standard_grid};
+use tgl_data::DatasetKind;
+use tgl_harness::table::{bar, secs, speedup, TextTable};
+use tgl_harness::{Framework, ModelKind, Placement};
+
+fn main() {
+    preamble(
+        "Figure 5: training time per epoch, all-on-GPU",
+        "paper §5.2.1, Figure 5",
+    );
+    let grid = standard_grid(Placement::AllOnDevice);
+    for kind in DatasetKind::standard() {
+        println!("\n--- {} ---", kind.name());
+        let mut t = TextTable::new(&["Model", "TGL", "TGLite", "TGLite+opt", "bars (s/epoch)"]);
+        for model in ModelKind::all() {
+            let tgl = grid_lookup(&grid, Framework::Tgl, model, kind).train_s;
+            let lite = grid_lookup(&grid, Framework::TgLite, model, kind).train_s;
+            let opt = grid_lookup(&grid, Framework::TgLiteOpt, model, kind).train_s;
+            let max = tgl.max(lite).max(opt);
+            t.row(&[
+                model.label().to_string(),
+                secs(tgl),
+                format!("{} {}", secs(lite), speedup(tgl, lite)),
+                if model == ModelKind::Jodie {
+                    "- (same as TGLite)".to_string()
+                } else {
+                    format!("{} {}", secs(opt), speedup(tgl, opt))
+                },
+                format!(
+                    "TGL {:<12} lite {:<12} +opt {:<12}",
+                    bar(tgl, max, 12),
+                    bar(lite, max, 12),
+                    bar(opt, max, 12)
+                ),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("\n(speedups vs TGL in parentheses; JODIE has no further opt");
+    println!(" operators per the paper, so TGLite+opt == TGLite for it)");
+}

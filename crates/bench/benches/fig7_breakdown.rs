@@ -1,0 +1,82 @@
+//! Regenerates **Figure 7** — breakdown of major operations in one
+//! TGAT training epoch (LastFM-shape, all-on-GPU) for TGL, TGLite, and
+//! TGLite+opt.
+//!
+//! Expected shape (paper §5.2.3): backward similar across settings;
+//! TGLite cheaper batch prep; TGLite+opt shrinks the attention and
+//! time-encoding phases (with small overhead moving to the
+//! precomputed-time operators).
+
+use tgl_bench::{cell, preamble};
+use tgl_data::DatasetKind;
+use tgl_harness::table::{bar, TextTable};
+use tgl_harness::{run_experiment, Framework, ModelKind, Placement};
+use tglite::prof;
+
+fn main() {
+    preamble(
+        "Figure 7: TGAT epoch runtime breakdown (LastFM, all-on-GPU)",
+        "paper §5.2.3, Figure 7",
+    );
+    let phases = [
+        "sample",
+        "prep_batch",
+        "feature_load",
+        "preload",
+        "time_zero",
+        "time_nbrs",
+        "attention",
+        "backward",
+        "opt_step",
+    ];
+    let mut rows: Vec<(String, Vec<f64>)> =
+        phases.iter().map(|p| (p.to_string(), Vec::new())).collect();
+    let mut totals = Vec::new();
+    for fw in Framework::all() {
+        let mut cfg = cell(fw, ModelKind::Tgat, DatasetKind::Lastfm, Placement::AllOnDevice);
+        cfg.train_cfg.epochs = 1;
+        prof::enable(true);
+        prof::take();
+        let r = run_experiment(&cfg);
+        let report = prof::take();
+        prof::enable(false);
+        totals.push(r.train_s_per_epoch);
+        for (name, col) in rows.iter_mut() {
+            let d = report
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| d.as_secs_f64())
+                .unwrap_or(0.0);
+            col.push(d);
+        }
+    }
+    let max = rows
+        .iter()
+        .flat_map(|(_, v)| v.iter().cloned())
+        .fold(0.0f64, f64::max);
+    let mut t = TextTable::new(&["Phase", "TGL", "TGLite", "TGLite+opt", "bars"]);
+    for (name, col) in &rows {
+        t.row(&[
+            name.clone(),
+            format!("{:.2}", col[0]),
+            format!("{:.2}", col[1]),
+            format!("{:.2}", col[2]),
+            format!(
+                "{:<10}|{:<10}|{:<10}",
+                bar(col[0], max, 10),
+                bar(col[1], max, 10),
+                bar(col[2], max, 10)
+            ),
+        ]);
+    }
+    t.row(&[
+        "epoch total".into(),
+        format!("{:.2}", totals[0]),
+        format!("{:.2}", totals[1]),
+        format!("{:.2}", totals[2]),
+        String::new(),
+    ]);
+    println!("{}", t.render());
+    println!("\n(phase seconds over one training epoch; 'time_zero'/'time_nbrs'");
+    println!(" are the Φ(0)/Φ(Δt) encodings, matching the paper's labels)");
+}

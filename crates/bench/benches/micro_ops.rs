@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for the operators underneath the paper's
+//! results: temporal sampling, segmented kernels, the redundancy
+//! operators, time precomputation, and tier transfers. These support
+//! the Fig. 7 breakdown analysis at operator granularity.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tgl_data::{generate, DatasetKind, DatasetSpec};
+use tgl_device::{Device, PinnedPool};
+use tgl_sampler::{SamplingStrategy, TemporalSampler};
+use tgl_tensor::ops::{segment_softmax, segment_sum};
+use tgl_tensor::Tensor;
+use tglite::nn::TimeEncode;
+use tglite::{op, TBlock, TContext, TSampler};
+
+fn setup() -> (Arc<tglite::TGraph>, TContext) {
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(4);
+    let (g, _) = generate(&spec);
+    let ctx = TContext::new(Arc::clone(&g));
+    (g, ctx)
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let (g, _ctx) = setup();
+    let csr = g.tcsr();
+    let n = 512usize;
+    let nodes: Vec<u32> = (0..n as u32).map(|i| i % g.num_nodes() as u32).collect();
+    let times: Vec<f64> = vec![g.max_time(); n];
+    let recent = TemporalSampler::new(10, SamplingStrategy::Recent).with_threads(1);
+    let uniform = TemporalSampler::new(10, SamplingStrategy::Uniform).with_threads(1);
+    c.bench_function("sampler_recent_512x10", |b| {
+        b.iter(|| recent.sample(&csr, &nodes, &times))
+    });
+    c.bench_function("sampler_uniform_512x10", |b| {
+        b.iter(|| uniform.sample(&csr, &nodes, &times))
+    });
+}
+
+fn bench_segment_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 4096;
+    let d = 32;
+    let vals = Tensor::rand_uniform([n, d], -1.0, 1.0, &mut rng);
+    let logits = Tensor::rand_uniform([n, 2], -1.0, 1.0, &mut rng);
+    let seg: Vec<usize> = (0..n).map(|i| i / 10).collect();
+    let nseg = n / 10 + 1;
+    c.bench_function("segment_sum_4096x32", |b| {
+        b.iter(|| segment_sum(&vals, &seg, nseg))
+    });
+    c.bench_function("segment_softmax_4096x2", |b| {
+        b.iter(|| segment_softmax(&logits, &seg, nseg))
+    });
+}
+
+fn bench_redundancy_ops(c: &mut Criterion) {
+    let (_g, ctx) = setup();
+    // Heavily duplicated destinations (the dedup win case).
+    let nodes: Vec<u32> = (0..600u32).map(|i| i % 50).collect();
+    let times: Vec<f64> = (0..600).map(|i| (i % 25) as f64 * 100.0 + 1000.0).collect();
+    c.bench_function("dedup_600_dsts", |b| {
+        b.iter(|| {
+            let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+            op::dedup(&blk);
+            blk.num_dst()
+        })
+    });
+    // Cache with a warm table.
+    let warm = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+    op::cache(&ctx, &warm);
+    let k = warm.num_dst();
+    warm.run_hooks(Tensor::zeros([k, 32]));
+    c.bench_function("cache_600_dsts_warm", |b| {
+        b.iter(|| {
+            let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+            op::cache(&ctx, &blk);
+            blk.num_dst()
+        })
+    });
+}
+
+fn bench_time_encode(c: &mut Criterion) {
+    let (_g, ctx) = setup();
+    let mut rng = StdRng::seed_from_u64(1);
+    let enc = TimeEncode::new(16, &mut rng);
+    // Quantized deltas: few distinct values (the precompute win case).
+    let deltas: Vec<f32> = (0..2048).map(|i| (i % 40) as f32 * 900.0).collect();
+    c.bench_function("time_encode_direct_2048", |b| {
+        b.iter(|| enc.forward(&deltas))
+    });
+    op::precomputed_times(&ctx, &enc, &deltas); // warm the table
+    c.bench_function("time_encode_precomputed_2048", |b| {
+        b.iter(|| op::precomputed_times(&ctx, &enc, &deltas))
+    });
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    tgl_device::set_transfer_model(tgl_device::TransferModel::disabled());
+    let t = Tensor::zeros([512, 64]);
+    let pool = PinnedPool::new();
+    c.bench_function("transfer_pageable_128k", |b| {
+        b.iter(|| t.to(Device::Accel))
+    });
+    c.bench_function("transfer_pinned_128k", |b| {
+        b.iter(|| t.to_pinned(Device::Accel, &pool))
+    });
+}
+
+fn bench_sampling_block_path(c: &mut Criterion) {
+    let (g, ctx) = setup();
+    let sampler = TSampler::new(10, SamplingStrategy::Recent);
+    let nodes: Vec<u32> = (0..256u32).map(|i| i % g.num_nodes() as u32).collect();
+    let times = vec![g.max_time(); 256];
+    c.bench_function("block_sample_and_chain", |b| {
+        b.iter(|| {
+            let head = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+            sampler.sample(&head);
+            let tail = head.next_block();
+            sampler.sample(&tail);
+            tail.num_edges()
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    let b_ = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_256", |b| b.iter(|| a.matmul(&b_)));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sampler, bench_segment_ops, bench_redundancy_ops,
+              bench_time_encode, bench_transfers, bench_sampling_block_path,
+              bench_matmul
+}
+criterion_main!(benches);

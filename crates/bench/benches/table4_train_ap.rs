@@ -1,0 +1,41 @@
+//! Regenerates **Table 4** — training-evaluation AP scores (best
+//! epoch) for the all-on-GPU case.
+//!
+//! Expected shape (paper §5.2.1): all three settings land within a
+//! point or two of each other for each model/dataset — the
+//! optimizations are semantic-preserving, so differences come only
+//! from training stochasticity.
+//!
+//! Shares the cached standard grid with fig5/table5.
+
+use tgl_bench::{grid_lookup, preamble, standard_grid};
+use tgl_data::DatasetKind;
+use tgl_harness::table::{ap, TextTable};
+use tgl_harness::{Framework, ModelKind, Placement};
+
+fn main() {
+    preamble(
+        "Table 4: training evaluation AP (best epoch), all-on-GPU",
+        "paper §5.2.1, Table 4",
+    );
+    let grid = standard_grid(Placement::AllOnDevice);
+    let mut t = TextTable::new(&["Data", "Model", "TGL", "TGLite", "TGLite+opt"]);
+    for kind in DatasetKind::standard() {
+        for model in ModelKind::all() {
+            t.row(&[
+                kind.name().to_string(),
+                model.label().to_string(),
+                ap(grid_lookup(&grid, Framework::Tgl, model, kind).val_ap),
+                ap(grid_lookup(&grid, Framework::TgLite, model, kind).val_ap),
+                if model == ModelKind::Jodie {
+                    "-".into()
+                } else {
+                    ap(grid_lookup(&grid, Framework::TgLiteOpt, model, kind).val_ap)
+                },
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("\n(AP in percent on the validation split; '-' marks JODIE's");
+    println!(" skipped TGLite+opt setting, as in the paper)");
+}

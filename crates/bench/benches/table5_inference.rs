@@ -1,0 +1,53 @@
+//! Regenerates **Table 5** — test-set inference times (seconds) and AP
+//! scores in the all-on-GPU case.
+//!
+//! Expected shape (paper §5.3): TGLite+opt 1.09–1.54×, TGLite
+//! 0.85–1.61× against TGL; `cache()` benefits TGAT more than TGN.
+//!
+//! Shares the cached standard grid with fig5/table4.
+
+use tgl_bench::{grid_lookup, preamble, standard_grid};
+use tgl_data::DatasetKind;
+use tgl_harness::table::{ap, secs, speedup, TextTable};
+use tgl_harness::{Framework, ModelKind, Placement};
+
+fn main() {
+    preamble(
+        "Table 5: test-set inference time + AP, all-on-GPU",
+        "paper §5.3, Table 5",
+    );
+    let grid = standard_grid(Placement::AllOnDevice);
+    let mut t = TextTable::new(&[
+        "Data", "Model", "TGL", "AP", "TGLite", "AP", "TGLite+opt", "AP",
+    ]);
+    for kind in DatasetKind::standard() {
+        for model in ModelKind::all() {
+            let tgl = grid_lookup(&grid, Framework::Tgl, model, kind);
+            let lite = grid_lookup(&grid, Framework::TgLite, model, kind);
+            let opt = grid_lookup(&grid, Framework::TgLiteOpt, model, kind);
+            let mut cells = vec![
+                kind.name().to_string(),
+                model.label().to_string(),
+                secs(tgl.test_s),
+                ap(tgl.test_ap),
+                format!("{} {}", secs(lite.test_s), speedup(tgl.test_s, lite.test_s)),
+                ap(lite.test_ap),
+            ];
+            if model == ModelKind::Jodie {
+                cells.push("-".into());
+                cells.push("-".into());
+            } else {
+                cells.push(format!(
+                    "{} {}",
+                    secs(opt.test_s),
+                    speedup(tgl.test_s, opt.test_s)
+                ));
+                cells.push(ap(opt.test_ap));
+            }
+            t.row(&cells);
+        }
+    }
+    println!("{}", t.render());
+    println!("\n(inference over the chronological test split after training;");
+    println!(" speedups vs TGL in parentheses)");
+}

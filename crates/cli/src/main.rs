@@ -1,0 +1,235 @@
+//! `tgl` — command-line training and evaluation for the TGLite
+//! reproduction, mirroring the paper artifact's workflow
+//! (`./exp/tgat.sh -d wiki --epochs 3 --move --opt-all`).
+//!
+//! ```sh
+//! tgl train --model tgat --dataset wiki --epochs 3 --opt-all --move
+//! tgl train --model tgn --dataset reddit --framework tgl
+//! tgl generate --dataset lastfm --out lastfm.csv
+//! tgl stats --dataset gdelt
+//! tgl --help
+//! ```
+
+mod args;
+
+use std::sync::Arc;
+
+use args::Args;
+use tgl_data::{generate, save_csv, temporal_stats, DatasetKind, DatasetSpec, Split};
+use tgl_device::{Device, TransferModel};
+use tgl_harness::runner::build_model;
+use tgl_harness::{Framework, MetricLog, ModelKind, TrainConfig, Trainer};
+use tgl_models::{ModelConfig, TemporalModel};
+use tglite::TContext;
+
+const HELP: &str = "\
+tgl — TGLite reproduction command line
+
+USAGE:
+    tgl <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    train      train a model and report per-epoch loss/AP + test AP
+    eval       inference-only run over the test split
+    generate   write a synthetic dataset's edge list as CSV
+    stats      print a dataset's structural statistics
+
+COMMON OPTIONS:
+    --dataset <wiki|mooc|reddit|lastfm|wikitalk|gdelt>   (default wiki)
+    --scale <N>        divide dataset node/edge counts by N (default 2)
+    --model <jodie|apan|tgat|tgn>                        (default tgat)
+    --framework <tgl|tglite|tglite-opt>                  (default tglite-opt)
+    --epochs <N>       training epochs                   (default 3)
+    --batch <N>        batch size                        (default 200)
+    --lr <F>           Adam learning rate                (default 1e-3)
+    --seed <N>         parameter seed                    (default 42)
+    --move             keep data on CPU host and move per batch
+                       (the paper's CPU-to-GPU case; default all-on-GPU)
+    --opt-all          shorthand: framework = tglite-opt
+    --csv <PATH>       write per-epoch metrics as CSV
+    --ckpt <PATH>      save final parameters to a checkpoint
+    --out <PATH>       output path for `generate` (default <dataset>.csv)
+";
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    if args.has_flag("help") || args.subcommand().is_none() {
+        print!("{HELP}");
+        return;
+    }
+    match args.subcommand().unwrap() {
+        "train" => train(&args, false),
+        "eval" => train(&args, true),
+        "generate" => generate_cmd(&args),
+        "stats" => stats_cmd(&args),
+        other => {
+            eprintln!("unknown subcommand {other:?}\n");
+            print!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dataset_kind(args: &Args) -> DatasetKind {
+    let name = args.get("dataset").unwrap_or("wiki");
+    DatasetKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown dataset {name:?} (try wiki/mooc/reddit/lastfm/wikitalk/gdelt)");
+            std::process::exit(2);
+        })
+}
+
+fn spec(args: &Args) -> DatasetSpec {
+    DatasetSpec::of(dataset_kind(args)).scaled_down(args.get_or("scale", 2))
+}
+
+fn model_kind(args: &Args) -> ModelKind {
+    let name = args.get("model").unwrap_or("tgat");
+    ModelKind::all()
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {name:?} (try jodie/apan/tgat/tgn)");
+            std::process::exit(2);
+        })
+}
+
+fn framework(args: &Args) -> Framework {
+    if args.has_flag("opt-all") {
+        return Framework::TgLiteOpt;
+    }
+    match args.get("framework").unwrap_or("tglite-opt") {
+        "tgl" => Framework::Tgl,
+        "tglite" => Framework::TgLite,
+        "tglite-opt" => Framework::TgLiteOpt,
+        other => {
+            eprintln!("unknown framework {other:?} (try tgl/tglite/tglite-opt)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn train(args: &Args, eval_only: bool) {
+    let spec = spec(args);
+    let fw = framework(args);
+    let mk = model_kind(args);
+    let host_resident = args.has_flag("move");
+    println!(
+        "{} {} on {} ({} nodes, {} edges), {}",
+        if eval_only { "evaluating" } else { "training" },
+        mk.label(),
+        spec.kind.name(),
+        spec.num_nodes(),
+        spec.n_edges,
+        if host_resident { "CPU-to-GPU" } else { "all-on-GPU" }
+    );
+
+    let (g, _) = generate(&spec);
+    if !host_resident {
+        if let Some(f) = g.node_feats() {
+            g.set_node_feats(f.to(Device::Accel));
+        }
+        if let Some(f) = g.edge_feats() {
+            g.set_edge_feats(f.to(Device::Accel));
+        }
+    }
+    tgl_device::set_transfer_model(if host_resident {
+        TransferModel::scaled(TransferModel::pcie_v100(), 400.0)
+    } else {
+        TransferModel::disabled()
+    });
+    let ctx = TContext::with_device(Arc::clone(&g), Device::Accel);
+    let split = Split::standard(&g);
+    let model_cfg = ModelConfig {
+        emb_dim: args.get_or("emb-dim", 32),
+        time_dim: args.get_or("time-dim", 16),
+        heads: args.get_or("heads", 2),
+        n_layers: args.get_or("layers", 2),
+        n_neighbors: args.get_or("neighbors", 10),
+        mailbox_slots: args.get_or("mailbox", 10),
+    };
+    let mut model = build_model(fw, mk, &ctx, model_cfg, args.get_or("seed", 42));
+    let train_cfg = TrainConfig {
+        batch_size: args.get_or("batch", 200),
+        epochs: if eval_only { 0 } else { args.get_or("epochs", 3) },
+        lr: args.get_or("lr", 1e-3),
+        seed: args.get_or("seed", 42) ^ 0x5eed,
+    };
+    let (neg_lo, neg_hi) = if spec.bipartite() {
+        (spec.n_src as u32, spec.num_nodes() as u32)
+    } else {
+        (0, spec.num_nodes() as u32)
+    };
+    let trainer = Trainer::new(train_cfg, neg_lo, neg_hi);
+
+    if eval_only {
+        if let Some(path) = args.get("ckpt") {
+            model.load(std::path::Path::new(path)).expect("load checkpoint");
+            println!("loaded checkpoint {path}");
+        }
+    }
+
+    let mut log = MetricLog::for_training();
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), train_cfg.lr);
+    let mut best_val = 0.0f64;
+    for e in 0..train_cfg.epochs {
+        let s = trainer.train_epoch(model.as_mut(), &ctx, &split, &mut opt, e);
+        best_val = best_val.max(s.val_ap);
+        log.record_epoch(e, &s);
+        println!(
+            "epoch {:>2}: loss {:.4}  val AP {:5.2}%  ({:.2}s cpu)",
+            e + 1,
+            s.loss,
+            s.val_ap * 100.0,
+            s.train_time_s
+        );
+    }
+    let (test_ap, test_s) = trainer.evaluate(model.as_mut(), &ctx, split.test.clone());
+    println!("test AP {:.2}% ({test_s:.2}s cpu)", test_ap * 100.0);
+    if train_cfg.epochs > 0 {
+        println!("best val AP {:.2}%", best_val * 100.0);
+    }
+
+    if let Some(path) = args.get("csv") {
+        log.save(std::path::Path::new(path)).expect("write csv");
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = args.get("ckpt") {
+        if !eval_only {
+            model.save(std::path::Path::new(path)).expect("write checkpoint");
+            println!("checkpoint written to {path}");
+        }
+    }
+    tgl_device::set_transfer_model(TransferModel::disabled());
+}
+
+fn generate_cmd(args: &Args) {
+    let spec = spec(args);
+    let (g, stats) = generate(&spec);
+    let default = format!("{}.csv", spec.kind.name().to_lowercase());
+    let out = args.get("out").unwrap_or(&default);
+    save_csv(&g, std::path::Path::new(out)).expect("write dataset");
+    println!(
+        "wrote {} ({} nodes, {} edges, {:.0}% repeat interactions)",
+        out,
+        stats.num_nodes,
+        stats.num_edges,
+        stats.repeat_fraction * 100.0
+    );
+}
+
+fn stats_cmd(args: &Args) {
+    let spec = spec(args);
+    let (g, ds) = generate(&spec);
+    let ts = temporal_stats(&g);
+    println!("{} (scale {}):", spec.kind.name(), args.get_or("scale", 2usize));
+    println!("  |V| = {}   |E| = {}", ds.num_nodes, ds.num_edges);
+    println!("  d_v = {}   d_e = {}   max(t) = {:.2e}", ds.d_node, ds.d_edge, ds.max_t);
+    println!("  repeat edges:        {:.1}%", ts.repeat_edge_fraction * 100.0);
+    println!("  distinct Δt:         {:.1}%", ts.distinct_delta_fraction * 100.0);
+    println!("  mean inter-event Δt: {:.3e}", ts.mean_interevent);
+    println!("  degree: mean {:.1}, max {}, gini {:.2}", ts.mean_degree, ts.max_degree, ts.degree_gini);
+    println!("  isolated nodes:      {:.1}%", ts.isolated_fraction * 100.0);
+}

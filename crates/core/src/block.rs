@@ -1,0 +1,793 @@
+//! The `TBlock` abstraction — TGLite's centerpiece (paper §3.2).
+//!
+//! A TBlock captures the 1-hop message-flow dependencies between target
+//! destination `(node, time)` pairs and their temporally sampled
+//! neighbors. Three properties distinguish it from DGL-style MFGs:
+//!
+//! 1. **Doubly-linked chain**: blocks link to predecessor/successor
+//!    blocks, explicitly representing multi-hop aggregation so that
+//!    multi-block operators ([`crate::op::aggregate`],
+//!    [`crate::op::propagate`]) can walk the chain and handle
+//!    inter-layer bookkeeping.
+//! 2. **Optional neighborhood**: a block starts with only destination
+//!    pairs; optimizations like dedup/cache manipulate the destinations
+//!    *before* sampling fills in the sources, shrinking downstream
+//!    subgraphs.
+//! 3. **Hooks**: operators register post-processing callbacks (e.g.
+//!    dedup inversion, cache merge) that the runtime invokes
+//!    automatically after the block's computation, preserving output
+//!    semantics without user bookkeeping.
+
+use std::cell::{Ref, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+
+use tgl_device::Device;
+use tgl_graph::{NodeId, TemporalGraph, Time};
+use tgl_sampler::NeighborSample;
+use tgl_tensor::Tensor;
+
+use crate::TContext;
+
+/// A named post-processing hook: receives the block's computed output
+/// rows and returns the transformed rows.
+pub struct BlockHook {
+    name: String,
+    func: Box<dyn FnMut(Tensor) -> Tensor>,
+}
+
+impl BlockHook {
+    /// Creates a hook.
+    pub fn new(name: impl Into<String>, func: impl FnMut(Tensor) -> Tensor + 'static) -> BlockHook {
+        BlockHook {
+            name: name.into(),
+            func: Box::new(func),
+        }
+    }
+
+    /// The hook's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for BlockHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockHook({})", self.name)
+    }
+}
+
+pub(crate) struct BlockInner {
+    pub(crate) graph: Arc<TemporalGraph>,
+    pub(crate) device: Device,
+    pub(crate) layer: usize,
+    pub(crate) dst_nodes: Vec<NodeId>,
+    pub(crate) dst_times: Vec<Time>,
+    pub(crate) nbrs: Option<NeighborSample>,
+    dstdata: HashMap<String, Tensor>,
+    srcdata: HashMap<String, Tensor>,
+    edata: HashMap<String, Tensor>,
+    hooks: Vec<BlockHook>,
+    next: Option<TBlock>,
+    prev: Weak<RefCell<BlockInner>>,
+    dst_feat_cache: Option<Tensor>,
+    src_feat_cache: Option<Tensor>,
+    edge_feat_cache: Option<Tensor>,
+}
+
+/// A temporal block. Cheap to clone (shared handle).
+///
+/// Blocks are single-threaded by design (model forward passes run on
+/// one thread); the parallel sampler works on plain arrays before
+/// attaching results to a block.
+#[derive(Clone)]
+pub struct TBlock {
+    pub(crate) inner: Rc<RefCell<BlockInner>>,
+}
+
+impl TBlock {
+    /// Creates a standalone block for the given destination
+    /// `(node, time)` pairs at `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` and `times` differ in length.
+    pub fn new(ctx: &TContext, layer: usize, nodes: Vec<NodeId>, times: Vec<Time>) -> TBlock {
+        assert_eq!(nodes.len(), times.len(), "dst nodes/times length mismatch");
+        TBlock {
+            inner: Rc::new(RefCell::new(BlockInner {
+                graph: Arc::clone(ctx.graph()),
+                device: ctx.device(),
+                layer,
+                dst_nodes: nodes,
+                dst_times: times,
+                nbrs: None,
+                dstdata: HashMap::new(),
+                srcdata: HashMap::new(),
+                edata: HashMap::new(),
+                hooks: Vec::new(),
+                next: None,
+                prev: Weak::new(),
+                dst_feat_cache: None,
+                src_feat_cache: None,
+                edge_feat_cache: None,
+            })),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Destination side
+    // ---------------------------------------------------------------
+
+    /// Number of destination pairs.
+    pub fn num_dst(&self) -> usize {
+        self.inner.borrow().dst_nodes.len()
+    }
+
+    /// The layer index this block was created for (head = 0).
+    pub fn layer(&self) -> usize {
+        self.inner.borrow().layer
+    }
+
+    /// Destination node ids (cloned).
+    pub fn dst_nodes(&self) -> Vec<NodeId> {
+        self.inner.borrow().dst_nodes.clone()
+    }
+
+    /// Destination timestamps (cloned).
+    pub fn dst_times(&self) -> Vec<Time> {
+        self.inner.borrow().dst_times.clone()
+    }
+
+    /// Runs `f` over the destination arrays without cloning.
+    pub fn with_dst<R>(&self, f: impl FnOnce(&[NodeId], &[Time]) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(&inner.dst_nodes, &inner.dst_times)
+    }
+
+    /// Replaces the destination pairs (used by `dedup`/`cache`, which
+    /// must run before sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neighborhood was already sampled, or on length
+    /// mismatch.
+    pub fn replace_dst(&self, nodes: Vec<NodeId>, times: Vec<Time>) {
+        assert_eq!(nodes.len(), times.len(), "dst nodes/times length mismatch");
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.nbrs.is_none(),
+            "cannot replace destinations after sampling; apply dst-filtering \
+             operators (dedup/cache) before TSampler::sample"
+        );
+        inner.dst_nodes = nodes;
+        inner.dst_times = times;
+        inner.dst_feat_cache = None;
+    }
+
+    // ---------------------------------------------------------------
+    // Neighborhood (source) side
+    // ---------------------------------------------------------------
+
+    /// Whether the neighborhood has been sampled/attached.
+    pub fn has_nbrs(&self) -> bool {
+        self.inner.borrow().nbrs.is_some()
+    }
+
+    /// Attaches a sampled neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `dst_index` is out of range for this block's
+    /// destinations.
+    pub fn set_neighborhood(&self, nbrs: NeighborSample) {
+        let mut inner = self.inner.borrow_mut();
+        let n = inner.dst_nodes.len();
+        assert!(
+            nbrs.dst_index.iter().all(|&d| d < n),
+            "neighborhood dst_index out of range"
+        );
+        inner.nbrs = Some(nbrs);
+        inner.src_feat_cache = None;
+        inner.edge_feat_cache = None;
+    }
+
+    /// Number of sampled edges (0 before sampling).
+    pub fn num_edges(&self) -> usize {
+        self.inner.borrow().nbrs.as_ref().map_or(0, |n| n.len())
+    }
+
+    /// Per-edge destination position — the segment ids for segmented
+    /// operators.
+    pub fn dst_index(&self) -> Vec<usize> {
+        self.inner
+            .borrow()
+            .nbrs
+            .as_ref()
+            .map_or_else(Vec::new, |n| n.dst_index.clone())
+    }
+
+    /// Sampled neighbor node per edge.
+    pub fn src_nodes(&self) -> Vec<NodeId> {
+        self.inner
+            .borrow()
+            .nbrs
+            .as_ref()
+            .map_or_else(Vec::new, |n| n.src_nodes.clone())
+    }
+
+    /// Timestamp of each sampled edge.
+    pub fn src_times(&self) -> Vec<Time> {
+        self.inner
+            .borrow()
+            .nbrs
+            .as_ref()
+            .map_or_else(Vec::new, |n| n.src_times.clone())
+    }
+
+    /// Edge id of each sampled edge.
+    pub fn eids(&self) -> Vec<tgl_graph::EdgeId> {
+        self.inner
+            .borrow()
+            .nbrs
+            .as_ref()
+            .map_or_else(Vec::new, |n| n.eids.clone())
+    }
+
+    /// Runs `f` over the attached neighborhood without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no neighborhood is attached.
+    pub fn with_nbrs<R>(&self, f: impl FnOnce(&NeighborSample) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(inner
+            .nbrs
+            .as_ref()
+            .expect("block has no sampled neighborhood"))
+    }
+
+    /// Per-edge time delta `t_dst − t_edge` as `f32` (the input to the
+    /// time encoder for neighbor edges).
+    pub fn delta_times(&self) -> Vec<f32> {
+        let inner = self.inner.borrow();
+        match &inner.nbrs {
+            Some(n) => n
+                .dst_index
+                .iter()
+                .zip(&n.src_times)
+                .map(|(&d, &st)| (inner.dst_times[d] - st) as f32)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Unique sampled source nodes (first-appearance order) plus the
+    /// per-edge index into that unique list.
+    pub fn uniq_src(&self) -> (Vec<NodeId>, Vec<usize>) {
+        let inner = self.inner.borrow();
+        let Some(n) = &inner.nbrs else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut uniq = Vec::new();
+        let mut pos: HashMap<NodeId, usize> = HashMap::new();
+        let mut index = Vec::with_capacity(n.src_nodes.len());
+        for &s in &n.src_nodes {
+            let p = *pos.entry(s).or_insert_with(|| {
+                uniq.push(s);
+                uniq.len() - 1
+            });
+            index.push(p);
+        }
+        (uniq, index)
+    }
+
+    // ---------------------------------------------------------------
+    // Chain links
+    // ---------------------------------------------------------------
+
+    /// Creates (or returns the existing) successor block whose
+    /// destinations are this block's destinations followed by its
+    /// sampled neighbor `(node, edge-time)` pairs.
+    ///
+    /// This layout is what lets [`crate::op::aggregate`] split the
+    /// successor's output into this block's `dstdata` (first
+    /// `num_dst()` rows) and `srcdata` (remaining `num_edges()` rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this block has no sampled neighborhood yet.
+    pub fn next_block(&self) -> TBlock {
+        if let Some(next) = self.inner.borrow().next.clone() {
+            return next;
+        }
+        let (graph, device, layer, nodes, times) = {
+            let inner = self.inner.borrow();
+            let n = inner
+                .nbrs
+                .as_ref()
+                .expect("sample this block before creating its successor");
+            let mut nodes = inner.dst_nodes.clone();
+            nodes.extend_from_slice(&n.src_nodes);
+            let mut times = inner.dst_times.clone();
+            times.extend_from_slice(&n.src_times);
+            (
+                Arc::clone(&inner.graph),
+                inner.device,
+                inner.layer + 1,
+                nodes,
+                times,
+            )
+        };
+        let next = TBlock {
+            inner: Rc::new(RefCell::new(BlockInner {
+                graph,
+                device,
+                layer,
+                dst_nodes: nodes,
+                dst_times: times,
+                nbrs: None,
+                dstdata: HashMap::new(),
+                srcdata: HashMap::new(),
+                edata: HashMap::new(),
+                hooks: Vec::new(),
+                next: None,
+                prev: Rc::downgrade(&self.inner),
+                dst_feat_cache: None,
+                src_feat_cache: None,
+                edge_feat_cache: None,
+            })),
+        };
+        self.inner.borrow_mut().next = Some(next.clone());
+        next
+    }
+
+    /// The successor block, if one was created.
+    pub fn next(&self) -> Option<TBlock> {
+        self.inner.borrow().next.clone()
+    }
+
+    /// The predecessor block, if this block was created via
+    /// [`TBlock::next_block`] and the predecessor is still alive.
+    pub fn prev(&self) -> Option<TBlock> {
+        self.inner.borrow().prev.upgrade().map(|inner| TBlock { inner })
+    }
+
+    /// Walks `next` links to the deepest block in the chain.
+    pub fn tail(&self) -> TBlock {
+        let mut cur = self.clone();
+        while let Some(next) = cur.next() {
+            cur = next;
+        }
+        cur
+    }
+
+    /// Number of blocks from this one to the tail (inclusive).
+    pub fn chain_len(&self) -> usize {
+        let mut n = 1;
+        let mut cur = self.clone();
+        while let Some(next) = cur.next() {
+            n += 1;
+            cur = next;
+        }
+        n
+    }
+
+    // ---------------------------------------------------------------
+    // Feature access (cached; paper: "stored in the block's cached
+    // area so we avoid fetching them a second time")
+    // ---------------------------------------------------------------
+
+    /// Node features of the destination pairs, on the compute device.
+    pub fn dstfeat(&self) -> Tensor {
+        if let Some(t) = self.inner.borrow().dst_feat_cache.clone() {
+            return t;
+        }
+        let (gathered, device) = {
+            let inner = self.inner.borrow();
+            (inner.graph.node_feat_rows(&inner.dst_nodes), inner.device)
+        };
+        let moved = gathered.to(device);
+        self.inner.borrow_mut().dst_feat_cache = Some(moved.clone());
+        moved
+    }
+
+    /// Node features of the sampled neighbors, on the compute device.
+    pub fn srcfeat(&self) -> Tensor {
+        if let Some(t) = self.inner.borrow().src_feat_cache.clone() {
+            return t;
+        }
+        let (gathered, device) = {
+            let inner = self.inner.borrow();
+            let nodes = inner.nbrs.as_ref().map_or(&[][..], |n| &n.src_nodes);
+            (inner.graph.node_feat_rows(nodes), inner.device)
+        };
+        let moved = gathered.to(device);
+        self.inner.borrow_mut().src_feat_cache = Some(moved.clone());
+        moved
+    }
+
+    /// Edge features of the sampled edges, on the compute device.
+    pub fn efeat(&self) -> Tensor {
+        if let Some(t) = self.inner.borrow().edge_feat_cache.clone() {
+            return t;
+        }
+        let (gathered, device) = {
+            let inner = self.inner.borrow();
+            let eids = inner.nbrs.as_ref().map_or(&[][..], |n| &n.eids);
+            (inner.graph.edge_feat_rows(eids), inner.device)
+        };
+        let moved = gathered.to(device);
+        self.inner.borrow_mut().edge_feat_cache = Some(moved.clone());
+        moved
+    }
+
+    /// Installs pre-transferred feature tensors (used by
+    /// [`crate::op::preload`]).
+    pub(crate) fn install_feat_cache(
+        &self,
+        dst: Option<Tensor>,
+        src: Option<Tensor>,
+        edge: Option<Tensor>,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if dst.is_some() {
+            inner.dst_feat_cache = dst;
+        }
+        if src.is_some() {
+            inner.src_feat_cache = src;
+        }
+        if edge.is_some() {
+            inner.edge_feat_cache = edge;
+        }
+    }
+
+    /// Drops cached feature tensors; they reload gracefully on next
+    /// access.
+    pub fn flush_cache(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.dst_feat_cache = None;
+        inner.src_feat_cache = None;
+        inner.edge_feat_cache = None;
+    }
+
+    /// Memory rows for the destination nodes, on the compute device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no attached memory.
+    pub fn mem_data(&self) -> Tensor {
+        let inner = self.inner.borrow();
+        let mem = inner.graph.memory();
+        mem.rows(&inner.dst_nodes).to(inner.device)
+    }
+
+    /// Latest mailbox rows + delivery times for the destination nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no attached mailbox.
+    pub fn mail(&self) -> (Tensor, Vec<Time>) {
+        let inner = self.inner.borrow();
+        let mb = inner.graph.mailbox();
+        let (mail, times) = mb.latest(&inner.dst_nodes);
+        (mail.to(inner.device), times)
+    }
+
+    /// The graph this block was created from.
+    pub fn graph(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.inner.borrow().graph)
+    }
+
+    /// The compute device of this block.
+    pub fn device(&self) -> Device {
+        self.inner.borrow().device
+    }
+
+    // ---------------------------------------------------------------
+    // Named tensor data
+    // ---------------------------------------------------------------
+
+    /// Attaches a named tensor to the destination side.
+    pub fn set_dstdata(&self, key: &str, t: Tensor) {
+        self.inner.borrow_mut().dstdata.insert(key.to_string(), t);
+    }
+
+    /// Retrieves named destination data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent.
+    pub fn dstdata(&self, key: &str) -> Tensor {
+        self.inner
+            .borrow()
+            .dstdata
+            .get(key)
+            .unwrap_or_else(|| panic!("no dstdata[{key:?}] on this block"))
+            .clone()
+    }
+
+    /// Whether destination data exists for `key`.
+    pub fn has_dstdata(&self, key: &str) -> bool {
+        self.inner.borrow().dstdata.contains_key(key)
+    }
+
+    /// Attaches a named tensor to the source (neighbor-edge) side.
+    pub fn set_srcdata(&self, key: &str, t: Tensor) {
+        self.inner.borrow_mut().srcdata.insert(key.to_string(), t);
+    }
+
+    /// Retrieves named source data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent.
+    pub fn srcdata(&self, key: &str) -> Tensor {
+        self.inner
+            .borrow()
+            .srcdata
+            .get(key)
+            .unwrap_or_else(|| panic!("no srcdata[{key:?}] on this block"))
+            .clone()
+    }
+
+    /// Whether source data exists for `key`.
+    pub fn has_srcdata(&self, key: &str) -> bool {
+        self.inner.borrow().srcdata.contains_key(key)
+    }
+
+    /// Attaches a named per-edge tensor.
+    pub fn set_edata(&self, key: &str, t: Tensor) {
+        self.inner.borrow_mut().edata.insert(key.to_string(), t);
+    }
+
+    /// Retrieves named per-edge data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent.
+    pub fn edata(&self, key: &str) -> Tensor {
+        self.inner
+            .borrow()
+            .edata
+            .get(key)
+            .unwrap_or_else(|| panic!("no edata[{key:?}] on this block"))
+            .clone()
+    }
+
+    // ---------------------------------------------------------------
+    // Hooks
+    // ---------------------------------------------------------------
+
+    /// Registers a post-processing hook on this block.
+    ///
+    /// Hooks run (via [`TBlock::run_hooks`], which the `aggregate`
+    /// operator calls automatically) in **reverse registration order**:
+    /// the operator applied last filtered the destinations last, so its
+    /// inversion must run first to restore the intermediate layout.
+    pub fn register_hook(&self, hook: BlockHook) {
+        self.inner.borrow_mut().hooks.push(hook);
+    }
+
+    /// Number of pending hooks.
+    pub fn num_hooks(&self) -> usize {
+        self.inner.borrow().hooks.len()
+    }
+
+    /// Consumes and runs all registered hooks on `output` (reverse
+    /// registration order), returning the transformed tensor.
+    pub fn run_hooks(&self, output: Tensor) -> Tensor {
+        let mut hooks: Vec<BlockHook> = {
+            let mut inner = self.inner.borrow_mut();
+            std::mem::take(&mut inner.hooks)
+        };
+        let mut out = output;
+        for hook in hooks.iter_mut().rev() {
+            out = (hook.func)(out);
+        }
+        out
+    }
+
+    /// Immutable access to the destination node array (no clone).
+    pub fn dst_nodes_ref(&self) -> Ref<'_, [NodeId]> {
+        Ref::map(self.inner.borrow(), |i| i.dst_nodes.as_slice())
+    }
+}
+
+impl std::fmt::Debug for TBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "TBlock(layer={}, dst={}, edges={}, hooks={}, linked={})",
+            inner.layer,
+            inner.dst_nodes.len(),
+            inner.nbrs.as_ref().map_or(0, |n| n.len()),
+            inner.hooks.len(),
+            inner.next.is_some() || inner.prev.upgrade().is_some(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TContext;
+
+    fn setup() -> (Arc<TemporalGraph>, TContext) {
+        let g = Arc::new(TemporalGraph::from_edges(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)],
+        ));
+        g.set_node_feats(Tensor::from_vec(
+            (0..8).map(|v| v as f32).collect(),
+            [4, 2],
+        ));
+        g.set_edge_feats(Tensor::from_vec(vec![10.0, 20.0, 30.0], [3, 1]));
+        let ctx = TContext::new(Arc::clone(&g));
+        (g, ctx)
+    }
+
+    fn sample(blk: &TBlock) {
+        let nbrs = tgl_sampler::TemporalSampler::new(2, tgl_sampler::SamplingStrategy::Recent)
+            .with_threads(1)
+            .sample(&blk.graph().tcsr(), &blk.dst_nodes(), &blk.dst_times());
+        blk.set_neighborhood(nbrs);
+    }
+
+    #[test]
+    fn new_block_has_no_neighborhood() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![1, 2], vec![5.0, 5.0]);
+        assert_eq!(blk.num_dst(), 2);
+        assert!(!blk.has_nbrs());
+        assert_eq!(blk.num_edges(), 0);
+        assert_eq!(blk.layer(), 0);
+        assert!(blk.prev().is_none());
+        assert!(blk.next().is_none());
+    }
+
+    #[test]
+    fn replace_dst_before_sampling_ok_after_not() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![1, 1, 2], vec![5.0, 5.0, 5.0]);
+        blk.replace_dst(vec![1, 2], vec![5.0, 5.0]);
+        assert_eq!(blk.num_dst(), 2);
+        sample(&blk);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            blk.replace_dst(vec![1], vec![5.0]);
+        }));
+        assert!(r.is_err(), "replace after sampling must panic");
+    }
+
+    #[test]
+    fn delta_times_are_dst_minus_edge() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![2], vec![10.0]);
+        sample(&blk);
+        // node 2 has edges at t=2 (to 1) and t=3 (to 3)
+        assert_eq!(blk.delta_times(), vec![8.0, 7.0]);
+    }
+
+    #[test]
+    fn next_block_stacks_dst_then_src() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![2], vec![10.0]);
+        sample(&blk);
+        let next = blk.next_block();
+        assert_eq!(next.layer(), 1);
+        assert_eq!(next.num_dst(), 1 + blk.num_edges());
+        assert_eq!(next.dst_nodes()[0], 2);
+        assert!(next.prev().is_some());
+        assert!(blk.next().is_some());
+        // Second call returns the same block.
+        let again = blk.next_block();
+        assert!(Rc::ptr_eq(&again.inner, &next.inner));
+    }
+
+    #[test]
+    fn tail_and_chain_len() {
+        let (_g, ctx) = setup();
+        let head = TBlock::new(&ctx, 0, vec![2], vec![10.0]);
+        sample(&head);
+        let mid = head.next_block();
+        sample(&mid);
+        let tail = mid.next_block();
+        assert_eq!(head.chain_len(), 3);
+        assert!(Rc::ptr_eq(&head.tail().inner, &tail.inner));
+    }
+
+    #[test]
+    fn feature_access_and_caching() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![3, 0], vec![10.0, 10.0]);
+        let f = blk.dstfeat();
+        assert_eq!(f.to_vec(), vec![6.0, 7.0, 0.0, 1.0]);
+        // Cached: same storage handle on second access.
+        let f2 = blk.dstfeat();
+        assert_eq!(f2.id(), f.id());
+        blk.flush_cache();
+        let f3 = blk.dstfeat();
+        assert_ne!(f3.id(), f.id());
+        assert_eq!(f3.to_vec(), f.to_vec());
+    }
+
+    #[test]
+    fn src_and_edge_features_follow_sampling() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![2], vec![10.0]);
+        sample(&blk);
+        assert_eq!(blk.src_nodes(), vec![1, 3]);
+        assert_eq!(blk.srcfeat().to_vec(), vec![2.0, 3.0, 6.0, 7.0]);
+        assert_eq!(blk.efeat().to_vec(), vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn named_data_roundtrip_and_panics() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![0], vec![1.0]);
+        blk.set_dstdata("h", Tensor::ones([1, 2]));
+        assert!(blk.has_dstdata("h"));
+        assert_eq!(blk.dstdata("h").to_vec(), vec![1.0, 1.0]);
+        assert!(!blk.has_srcdata("h"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| blk.srcdata("h")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn hooks_run_in_reverse_order_and_drain() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![0], vec![1.0]);
+        // first hook doubles, second adds 1; reverse order => (x+1)*2
+        blk.register_hook(BlockHook::new("double", |t: Tensor| t.mul_scalar(2.0)));
+        blk.register_hook(BlockHook::new("inc", |t: Tensor| t.add_scalar(1.0)));
+        assert_eq!(blk.num_hooks(), 2);
+        let out = blk.run_hooks(Tensor::from_vec(vec![3.0], [1]));
+        assert_eq!(out.to_vec(), vec![8.0]);
+        assert_eq!(blk.num_hooks(), 0, "hooks are consumed");
+        // Running again is a no-op.
+        let out2 = blk.run_hooks(Tensor::from_vec(vec![3.0], [1]));
+        assert_eq!(out2.to_vec(), vec![3.0]);
+    }
+
+    #[test]
+    fn uniq_src_mapping() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![1, 2], vec![10.0, 10.0]);
+        sample(&blk);
+        let (uniq, index) = blk.uniq_src();
+        // Every edge maps back to its src node through the unique list.
+        let src = blk.src_nodes();
+        for (e, &u) in index.iter().enumerate() {
+            assert_eq!(uniq[u], src[e]);
+        }
+        let mut sorted = uniq.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), uniq.len(), "uniq_src has duplicates");
+    }
+
+    #[test]
+    fn mem_and_mail_access() {
+        let (g, ctx) = setup();
+        g.attach_memory(2, Device::Host);
+        g.attach_mailbox(1, 3, Device::Host);
+        g.memory()
+            .store(&[1], &Tensor::from_vec(vec![5.0, 6.0], [1, 2]), &[2.0]);
+        g.mailbox()
+            .store(&[1], &Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]), &[2.5]);
+        let blk = TBlock::new(&ctx, 0, vec![1, 0], vec![9.0, 9.0]);
+        assert_eq!(blk.mem_data().to_vec(), vec![5.0, 6.0, 0.0, 0.0]);
+        let (mail, times) = blk.mail();
+        assert_eq!(mail.to_vec(), vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        assert_eq!(times, vec![2.5, 0.0]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let (_g, ctx) = setup();
+        let blk = TBlock::new(&ctx, 0, vec![0], vec![1.0]);
+        assert!(format!("{blk:?}").contains("TBlock(layer=0, dst=1"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The TGLite runtime context.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tgl_device::{Device, PinnedPool};
+use tgl_graph::{NodeId, TemporalGraph, Time};
+
+/// "Settings and scratch space used by the TGLite runtime, such as for
+/// caching values" (paper Table 2).
+///
+/// Owns the target compute device, the pinned-memory pool behind
+/// `op::preload`, the per-layer embedding cache behind `op::cache`, and
+/// the precomputed time-vector tables behind the precomputed-time
+/// operators.
+pub struct TContext {
+    graph: Arc<TemporalGraph>,
+    device: Device,
+    pool: PinnedPool,
+    embed_cache: Arc<EmbedCache>,
+    time_table: Mutex<HashMap<u64, Vec<f32>>>,
+    time_zeros: Mutex<Option<Vec<f32>>>,
+}
+
+impl std::fmt::Debug for TContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TContext")
+            .field("device", &self.device)
+            .field("nodes", &self.graph.num_nodes())
+            .field("edges", &self.graph.num_edges())
+            .finish()
+    }
+}
+
+impl TContext {
+    /// Creates a context computing on the host tier.
+    pub fn new(graph: Arc<TemporalGraph>) -> TContext {
+        TContext::with_device(graph, Device::Host)
+    }
+
+    /// Creates a context computing on `device`.
+    pub fn with_device(graph: Arc<TemporalGraph>, device: Device) -> TContext {
+        TContext {
+            graph,
+            device,
+            pool: PinnedPool::new(),
+            embed_cache: Arc::new(EmbedCache::new(20_000)),
+            time_table: Mutex::new(HashMap::new()),
+            time_zeros: Mutex::new(None),
+        }
+    }
+
+    /// The CTDG this context operates over.
+    pub fn graph(&self) -> &Arc<TemporalGraph> {
+        &self.graph
+    }
+
+    /// The compute device models should place tensors on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The pinned staging pool used by `op::preload`.
+    pub fn pinned_pool(&self) -> &PinnedPool {
+        &self.pool
+    }
+
+    /// The embedding cache used by `op::cache`.
+    pub fn embed_cache(&self) -> &EmbedCache {
+        &self.embed_cache
+    }
+
+    /// Shared handle to the embedding cache (for hooks that outlive
+    /// the borrow of the context).
+    pub(crate) fn embed_cache_arc(&self) -> Arc<EmbedCache> {
+        Arc::clone(&self.embed_cache)
+    }
+
+    /// Clears cached embeddings and time tables (e.g. between epochs or
+    /// after parameters change, which invalidates memoized results).
+    pub fn clear_caches(&self) {
+        self.embed_cache.clear();
+        self.time_table.lock().clear();
+        *self.time_zeros.lock() = None;
+    }
+
+    pub(crate) fn time_table(&self) -> &Mutex<HashMap<u64, Vec<f32>>> {
+        &self.time_table
+    }
+
+    pub(crate) fn time_zeros(&self) -> &Mutex<Option<Vec<f32>>> {
+        &self.time_zeros
+    }
+}
+
+/// Key for a memoized embedding: a `(node, time)` pair at a layer.
+fn cache_key(layer: usize, node: NodeId, time: Time) -> (u64, u64) {
+    (((layer as u64) << 32) | node as u64, time.to_bits())
+}
+
+/// Bounded memoization table for computed node-time embeddings
+/// (the paper's `cache()` optimization, after TGOpt).
+///
+/// FIFO-bounded: when full, the oldest insertions are evicted. Keys are
+/// exact `(layer, node, time)` triples, so reuse only happens for
+/// genuinely repeated computations — semantics are preserved.
+pub struct EmbedCache {
+    map: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<(u64, u64), Vec<f32>>,
+    order: std::collections::VecDeque<(u64, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EmbedCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> EmbedCache {
+        EmbedCache {
+            map: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up an embedding row.
+    pub fn get(&self, layer: usize, node: NodeId, time: Time) -> Option<Vec<f32>> {
+        let mut inner = self.map.lock();
+        match inner.map.get(&cache_key(layer, node, time)) {
+            Some(v) => {
+                let v = v.clone();
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an embedding row, evicting oldest entries beyond
+    /// capacity.
+    pub fn put(&self, layer: usize, node: NodeId, time: Time, row: Vec<f32>) {
+        let key = cache_key(layer, node, time);
+        let mut inner = self.map.lock();
+        if inner.map.insert(key, row).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+    }
+
+    /// Drops all entries (and resets statistics).
+    pub fn clear(&self) {
+        let mut inner = self.map.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+
+    /// `(hits, misses)` since the last clear.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.map.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.lock().map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for EmbedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, m) = self.stats();
+        write!(f, "EmbedCache(len={}, hits={h}, misses={m})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> TContext {
+        TContext::new(Arc::new(TemporalGraph::from_edges(2, vec![(0, 1, 1.0)])))
+    }
+
+    #[test]
+    fn context_defaults() {
+        let c = ctx();
+        assert_eq!(c.device(), Device::Host);
+        assert_eq!(c.graph().num_edges(), 1);
+        assert!(format!("{c:?}").contains("TContext"));
+    }
+
+    #[test]
+    fn embed_cache_roundtrip_and_stats() {
+        let cache = EmbedCache::new(10);
+        assert!(cache.get(0, 1, 5.0).is_none());
+        cache.put(0, 1, 5.0, vec![1.0, 2.0]);
+        assert_eq!(cache.get(0, 1, 5.0), Some(vec![1.0, 2.0]));
+        // Different layer, node, or time are distinct keys.
+        assert!(cache.get(1, 1, 5.0).is_none());
+        assert!(cache.get(0, 2, 5.0).is_none());
+        assert!(cache.get(0, 1, 6.0).is_none());
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn embed_cache_evicts_fifo() {
+        let cache = EmbedCache::new(2);
+        cache.put(0, 0, 0.0, vec![0.0]);
+        cache.put(0, 1, 0.0, vec![1.0]);
+        cache.put(0, 2, 0.0, vec![2.0]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0, 0, 0.0).is_none(), "oldest entry evicted");
+        assert!(cache.get(0, 2, 0.0).is_some());
+    }
+
+    #[test]
+    fn embed_cache_overwrite_does_not_grow_order() {
+        let cache = EmbedCache::new(2);
+        cache.put(0, 0, 0.0, vec![0.0]);
+        cache.put(0, 0, 0.0, vec![9.0]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(0, 0, 0.0), Some(vec![9.0]));
+    }
+
+    #[test]
+    fn clear_caches_resets() {
+        let c = ctx();
+        c.embed_cache().put(0, 0, 1.0, vec![1.0]);
+        c.time_table().lock().insert(0, vec![1.0]);
+        c.clear_caches();
+        assert!(c.embed_cache().is_empty());
+        assert!(c.time_table().lock().is_empty());
+    }
+}

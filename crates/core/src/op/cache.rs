@@ -1,0 +1,217 @@
+//! The memoization (embedding cache) optimization operator.
+
+use std::sync::Arc;
+
+use tgl_tensor::ops::cat;
+use tgl_tensor::Tensor;
+
+use crate::block::BlockHook;
+use crate::ctx::EmbedCache;
+use crate::{TBlock, TContext};
+
+/// Memoizes computed embeddings per `(layer, node, time)` key
+/// (the paper's `cache()` operator, after TGOpt).
+///
+/// Looks up the block's destination pairs in the context's embedding
+/// cache; cached pairs are removed from the destination list (so they
+/// are neither sampled nor recomputed) and a hook is registered that
+/// (1) stores freshly computed rows into the cache and (2) merges
+/// cached and computed rows back into the original layout — "thus
+/// avoiding repeated computations for cached embeddings and retaining
+/// expected output semantics" (§3.3).
+///
+/// Intended for inference: memoization across parameter updates would
+/// serve stale embeddings, so call [`TContext::clear_caches`] after
+/// training steps (the paper likewise enables `cache()` only at
+/// inference).
+///
+/// # Panics
+///
+/// Panics if the block already has a sampled neighborhood.
+pub fn cache(ctx: &TContext, blk: &TBlock) -> TBlock {
+    assert!(
+        !blk.has_nbrs(),
+        "cache must be applied before sampling the neighborhood"
+    );
+    let layer = blk.layer();
+    let store: &EmbedCache = ctx.embed_cache();
+    let (nodes, times) = (blk.dst_nodes(), blk.dst_times());
+    let n = nodes.len();
+
+    let mut hit_rows: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut miss_positions: Vec<usize> = Vec::new();
+    for (i, (&node, &t)) in nodes.iter().zip(&times).enumerate() {
+        match store.get(layer, node, t) {
+            Some(row) => hit_rows.push((i, row)),
+            None => miss_positions.push(i),
+        }
+    }
+
+    // Capture what the hook needs to populate the cache with fresh rows.
+    let miss_nodes: Vec<_> = miss_positions.iter().map(|&i| nodes[i]).collect();
+    let miss_times: Vec<_> = miss_positions.iter().map(|&i| times[i]).collect();
+    let cache_handle = CacheHandle {
+        cache: ctx.embed_cache_arc(),
+    };
+
+    if hit_rows.is_empty() {
+        // Nothing cached yet: keep dst as-is, only register the
+        // store-after-compute hook.
+        blk.register_hook(BlockHook::new("cache-store", move |out: Tensor| {
+            cache_handle.store(layer, &miss_nodes, &miss_times, &out);
+            out
+        }));
+        return blk.clone();
+    }
+
+    let device = blk.device();
+    blk.replace_dst(
+        miss_positions.iter().map(|&i| nodes[i]).collect(),
+        miss_positions.iter().map(|&i| times[i]).collect(),
+    );
+
+    // Permutation: original row i comes from computed row (for misses)
+    // or from the cached block appended after the computed rows.
+    let mut perm = vec![0usize; n];
+    for (k, &i) in miss_positions.iter().enumerate() {
+        perm[i] = k;
+    }
+    for (k, (i, _)) in hit_rows.iter().enumerate() {
+        perm[*i] = miss_positions.len() + k;
+    }
+    let cached_flat: Vec<f32> = hit_rows.iter().flat_map(|(_, r)| r.iter().copied()).collect();
+    let num_hits = hit_rows.len();
+
+    blk.register_hook(BlockHook::new("cache-merge", move |out: Tensor| {
+        cache_handle.store(layer, &miss_nodes, &miss_times, &out);
+        let width = if out.rank() >= 2 {
+            out.dim(1)
+        } else if num_hits > 0 {
+            cached_flat.len() / num_hits
+        } else {
+            0
+        };
+        debug_assert_eq!(
+            cached_flat.len(),
+            num_hits * width,
+            "cached row width changed between runs"
+        );
+        let cached = Tensor::from_vec_on(cached_flat.clone(), [num_hits, width], device);
+        let stacked = cat(&[out, cached], 0);
+        stacked.index_select(&perm)
+    }));
+    blk.clone()
+}
+
+struct CacheHandle {
+    cache: Arc<EmbedCache>,
+}
+
+impl CacheHandle {
+    fn store(&self, layer: usize, nodes: &[tgl_graph::NodeId], times: &[tgl_graph::Time], out: &Tensor) {
+        if nodes.is_empty() {
+            return;
+        }
+        debug_assert_eq!(out.dim(0), nodes.len(), "cache store row count mismatch");
+        let width: usize = out.dims()[1..].iter().product();
+        out.with_data(|data| {
+            for (k, (&node, &t)) in nodes.iter().zip(times).enumerate() {
+                self.cache
+                    .put(layer, node, t, data[k * width..(k + 1) * width].to_vec());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TContext;
+    use std::sync::Arc;
+    use tgl_graph::TemporalGraph;
+
+    fn ctx() -> TContext {
+        TContext::new(Arc::new(TemporalGraph::from_edges(
+            5,
+            vec![(0, 1, 1.0), (1, 2, 2.0)],
+        )))
+    }
+
+    #[test]
+    fn first_pass_stores_second_pass_hits() {
+        let ctx = ctx();
+        // Pass 1: all misses.
+        let blk = TBlock::new(&ctx, 0, vec![1, 2], vec![5.0, 5.0]);
+        cache(&ctx, &blk);
+        assert_eq!(blk.num_dst(), 2, "no hits yet; dst unchanged");
+        let out = Tensor::from_vec(vec![10.0, 11.0, 20.0, 21.0], [2, 2]);
+        let restored = blk.run_hooks(out);
+        assert_eq!(restored.to_vec(), vec![10.0, 11.0, 20.0, 21.0]);
+        let (hits, _) = ctx.embed_cache().stats();
+        assert_eq!(hits, 0);
+
+        // Pass 2: node 2 cached, node 3 new.
+        let blk2 = TBlock::new(&ctx, 0, vec![2, 3], vec![5.0, 5.0]);
+        cache(&ctx, &blk2);
+        assert_eq!(blk2.dst_nodes(), vec![3], "hit removed from dst");
+        let out2 = Tensor::from_vec(vec![30.0, 31.0], [1, 2]);
+        let restored2 = blk2.run_hooks(out2);
+        // original layout: row for node 2 (cached), row for node 3 (fresh)
+        assert_eq!(restored2.to_vec(), vec![20.0, 21.0, 30.0, 31.0]);
+    }
+
+    #[test]
+    fn all_hits_yields_empty_dst() {
+        let ctx = ctx();
+        ctx.embed_cache().put(0, 4, 9.0, vec![7.0]);
+        let blk = TBlock::new(&ctx, 0, vec![4], vec![9.0]);
+        cache(&ctx, &blk);
+        assert_eq!(blk.num_dst(), 0);
+        let restored = blk.run_hooks(Tensor::zeros([0, 1]));
+        assert_eq!(restored.to_vec(), vec![7.0]);
+    }
+
+    #[test]
+    fn layer_keys_are_distinct() {
+        let ctx = ctx();
+        ctx.embed_cache().put(0, 1, 5.0, vec![1.0]);
+        let blk = TBlock::new(&ctx, 1, vec![1], vec![5.0]);
+        cache(&ctx, &blk);
+        assert_eq!(blk.num_dst(), 1, "layer-1 lookup must miss layer-0 entry");
+    }
+
+    #[test]
+    fn semantic_preservation_random_layout() {
+        // cache() + hooks must reproduce exactly what an uncached
+        // computation produces, for a deterministic row function.
+        let ctx = ctx();
+        let f = |nodes: &[tgl_graph::NodeId]| -> Vec<f32> {
+            nodes.iter().flat_map(|&n| [n as f32, n as f32 * 10.0]).collect()
+        };
+        // Warm the cache with nodes 1 and 2.
+        let blk = TBlock::new(&ctx, 0, vec![1, 2], vec![3.0, 3.0]);
+        cache(&ctx, &blk);
+        let rows = f(&blk.dst_nodes());
+        let k = blk.num_dst();
+        blk.run_hooks(Tensor::from_vec(rows, [k, 2]));
+
+        // Mixed query.
+        let query = vec![2u32, 0, 1, 3];
+        let blk2 = TBlock::new(&ctx, 0, query.clone(), vec![3.0; 4]);
+        cache(&ctx, &blk2);
+        assert!(blk2.num_dst() < 4, "some hits expected");
+        let rows2 = f(&blk2.dst_nodes());
+        let k2 = blk2.num_dst();
+        let restored = blk2.run_hooks(Tensor::from_vec(rows2, [k2, 2]));
+        assert_eq!(restored.to_vec(), f(&query), "optimized != unoptimized");
+    }
+
+    #[test]
+    #[should_panic(expected = "before sampling")]
+    fn after_sampling_panics() {
+        let ctx = ctx();
+        let blk = TBlock::new(&ctx, 0, vec![1], vec![5.0]);
+        crate::TSampler::new(2, tgl_sampler::SamplingStrategy::Recent).sample(&blk);
+        cache(&ctx, &blk);
+    }
+}

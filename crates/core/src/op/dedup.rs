@@ -1,0 +1,125 @@
+//! The deduplication optimization operator.
+
+use std::collections::HashMap;
+
+use tgl_graph::{NodeId, Time};
+
+use crate::block::BlockHook;
+use crate::TBlock;
+
+/// Filters the block's destination `(node, time)` pairs to unique ones
+/// and registers a hook that re-expands computed outputs to the
+/// original row layout — a semantic-preserving transformation
+/// ("deduplication filters out duplicates to ensure embeddings are only
+/// computed for unique node-time pairs", paper §2).
+///
+/// Must be applied *before* sampling so that downstream subgraphs
+/// shrink too. Returns the same block for chaining. When all pairs are
+/// already unique, the block is left untouched (no hook).
+///
+/// # Panics
+///
+/// Panics if the block already has a sampled neighborhood.
+pub fn dedup(blk: &TBlock) -> TBlock {
+    assert!(
+        !blk.has_nbrs(),
+        "dedup must be applied before sampling the neighborhood"
+    );
+    let (uniq_nodes, uniq_times, inverse) = blk.with_dst(|nodes, times| {
+        let mut seen: HashMap<(NodeId, u64), usize> = HashMap::with_capacity(nodes.len());
+        let mut uniq_nodes: Vec<NodeId> = Vec::new();
+        let mut uniq_times: Vec<Time> = Vec::new();
+        let mut inverse = Vec::with_capacity(nodes.len());
+        for (&n, &t) in nodes.iter().zip(times) {
+            let key = (n, t.to_bits());
+            let pos = *seen.entry(key).or_insert_with(|| {
+                uniq_nodes.push(n);
+                uniq_times.push(t);
+                uniq_nodes.len() - 1
+            });
+            inverse.push(pos);
+        }
+        (uniq_nodes, uniq_times, inverse)
+    });
+    if uniq_nodes.len() == inverse.len() {
+        return blk.clone(); // already unique — nothing to do
+    }
+    blk.replace_dst(uniq_nodes, uniq_times);
+    blk.register_hook(BlockHook::new("dedup-invert", move |out| {
+        out.index_select(&inverse)
+    }));
+    blk.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TContext, TSampler};
+    use std::sync::Arc;
+    use tgl_graph::TemporalGraph;
+    use tgl_sampler::SamplingStrategy;
+    use tgl_tensor::Tensor;
+
+    fn ctx() -> TContext {
+        TContext::new(Arc::new(TemporalGraph::from_edges(
+            5,
+            vec![(0, 1, 1.0), (1, 2, 2.0)],
+        )))
+    }
+
+    #[test]
+    fn removes_duplicates_and_restores_layout() {
+        let ctx = ctx();
+        let blk = TBlock::new(&ctx, 0, vec![3, 1, 3, 1, 2], vec![5.0, 5.0, 5.0, 5.0, 5.0]);
+        dedup(&blk);
+        assert_eq!(blk.dst_nodes(), vec![3, 1, 2]);
+        assert_eq!(blk.num_hooks(), 1);
+        // Simulate per-unique-row outputs 10, 20, 30.
+        let out = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3, 1]);
+        let restored = blk.run_hooks(out);
+        assert_eq!(restored.to_vec(), vec![10.0, 20.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn same_node_different_time_not_merged() {
+        let ctx = ctx();
+        let blk = TBlock::new(&ctx, 0, vec![1, 1], vec![5.0, 6.0]);
+        dedup(&blk);
+        assert_eq!(blk.num_dst(), 2);
+        assert_eq!(blk.num_hooks(), 0);
+    }
+
+    #[test]
+    fn already_unique_is_noop() {
+        let ctx = ctx();
+        let blk = TBlock::new(&ctx, 0, vec![0, 1, 2], vec![5.0, 5.0, 5.0]);
+        dedup(&blk);
+        assert_eq!(blk.num_dst(), 3);
+        assert_eq!(blk.num_hooks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before sampling")]
+    fn after_sampling_panics() {
+        let ctx = ctx();
+        let blk = TBlock::new(&ctx, 0, vec![1, 1], vec![5.0, 5.0]);
+        TSampler::new(2, SamplingStrategy::Recent).sample(&blk);
+        dedup(&blk);
+    }
+
+    #[test]
+    fn dedup_invert_is_identity_composition() {
+        // dedup ∘ invert == identity on arbitrary duplicated layouts.
+        let ctx = ctx();
+        let nodes = vec![4, 4, 0, 2, 0, 4];
+        let times = vec![3.0, 3.0, 3.0, 7.0, 3.0, 3.0];
+        let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+        dedup(&blk);
+        // Identity function on unique rows: output row i = unique node id.
+        let vals: Vec<f32> = blk.dst_nodes().iter().map(|&n| n as f32).collect();
+        let k = vals.len();
+        let restored = blk.run_hooks(Tensor::from_vec(vals, [k, 1]));
+        let expect: Vec<f32> = nodes.iter().map(|&n| n as f32).collect();
+        assert_eq!(restored.to_vec(), expect);
+    }
+}

@@ -1,0 +1,144 @@
+//! Time-precomputation optimization operators (after TGOpt).
+//!
+//! "The time-encoder often produces the same time vectors, so those
+//! can be precomputed ahead-of-time and reused" (paper §2). Duplicate
+//! time deltas are extremely common in CTDG batches (e.g. Δt = 0 for
+//! every target node, repeated deltas from recent sampling), so
+//! memoizing `Φ(Δt)` rows by exact delta value skips both the cosine
+//! computation and the autograd bookkeeping.
+//!
+//! These operators produce *detached* tensors (no gradient to the
+//! encoder parameters), so — like the paper — models enable them only
+//! for inference. Clear the tables with
+//! [`crate::TContext::clear_caches`] whenever encoder parameters
+//! change.
+
+use tgl_tensor::{no_grad, Tensor};
+
+use crate::nn::TimeEncode;
+use crate::TContext;
+
+/// Precomputed time vectors for all-zero deltas: returns `[n, dim]`
+/// rows of `Φ(0)` (paper §3.4: "specialized to the case when a user
+/// knows that they have time deltas of zeros" — the self-time-encoding
+/// of target nodes, Eq. 4).
+pub fn precomputed_zeros(ctx: &TContext, encoder: &TimeEncode, n: usize) -> Tensor {
+    let row = {
+        let mut zeros = ctx.time_zeros().lock();
+        match zeros.as_ref() {
+            Some(r) => r.clone(),
+            None => {
+                let _g = no_grad();
+                let r = encoder.forward(&[0.0]).to_vec();
+                *zeros = Some(r.clone());
+                r
+            }
+        }
+    };
+    let dim = row.len();
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        data.extend_from_slice(&row);
+    }
+    Tensor::from_vec_on(data, [n, dim], ctx.device())
+}
+
+/// Precomputed time vectors for arbitrary deltas: memoizes `Φ(Δt)`
+/// per distinct delta value, computing only previously unseen deltas
+/// (in one batched encoder call) and reusing rows for the rest.
+pub fn precomputed_times(ctx: &TContext, encoder: &TimeEncode, deltas: &[f32]) -> Tensor {
+    let dim = encoder.dim();
+    let mut table = ctx.time_table().lock();
+    // Find unseen deltas.
+    let mut missing: Vec<f32> = Vec::new();
+    for &d in deltas {
+        let key = d.to_bits() as u64;
+        if !table.contains_key(&key) && !missing.iter().any(|&m| m.to_bits() == d.to_bits()) {
+            missing.push(d);
+        }
+    }
+    if !missing.is_empty() {
+        let _g = no_grad();
+        let fresh = encoder.forward(&missing);
+        fresh.with_data(|rows| {
+            for (k, &d) in missing.iter().enumerate() {
+                table.insert(d.to_bits() as u64, rows[k * dim..(k + 1) * dim].to_vec());
+            }
+        });
+    }
+    let mut data = Vec::with_capacity(deltas.len() * dim);
+    for &d in deltas {
+        data.extend_from_slice(&table[&(d.to_bits() as u64)]);
+    }
+    drop(table);
+    Tensor::from_vec_on(data, [deltas.len(), dim], ctx.device())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tgl_graph::TemporalGraph;
+
+    fn setup() -> (TContext, TimeEncode) {
+        let g = Arc::new(TemporalGraph::from_edges(2, vec![(0, 1, 1.0)]));
+        let ctx = TContext::new(g);
+        let mut rng = StdRng::seed_from_u64(0);
+        (ctx, TimeEncode::new(4, &mut rng))
+    }
+
+    #[test]
+    fn zeros_matches_direct_encoding() {
+        let (ctx, enc) = setup();
+        let pre = precomputed_zeros(&ctx, &enc, 3);
+        let direct = enc.forward(&[0.0, 0.0, 0.0]);
+        assert_eq!(pre.dims(), &[3, 4]);
+        assert_eq!(pre.to_vec(), direct.to_vec());
+    }
+
+    #[test]
+    fn times_match_direct_encoding() {
+        let (ctx, enc) = setup();
+        let deltas = [1.5f32, 0.0, 1.5, 7.25];
+        let pre = precomputed_times(&ctx, &enc, &deltas);
+        let direct = enc.forward(&deltas);
+        assert_eq!(pre.to_vec(), direct.to_vec());
+    }
+
+    #[test]
+    fn table_is_reused_across_calls() {
+        let (ctx, enc) = setup();
+        precomputed_times(&ctx, &enc, &[2.0, 3.0]);
+        assert_eq!(ctx.time_table().lock().len(), 2);
+        precomputed_times(&ctx, &enc, &[3.0, 2.0, 2.0]);
+        assert_eq!(ctx.time_table().lock().len(), 2, "no new entries expected");
+    }
+
+    #[test]
+    fn results_are_detached() {
+        let (ctx, enc) = setup();
+        let pre = precomputed_times(&ctx, &enc, &[1.0]);
+        assert!(!pre.requires_grad_flag());
+        let prez = precomputed_zeros(&ctx, &enc, 1);
+        assert!(!prez.requires_grad_flag());
+    }
+
+    #[test]
+    fn clear_caches_invalidates_tables() {
+        let (ctx, enc) = setup();
+        precomputed_times(&ctx, &enc, &[2.0]);
+        precomputed_zeros(&ctx, &enc, 1);
+        ctx.clear_caches();
+        assert!(ctx.time_table().lock().is_empty());
+        assert!(ctx.time_zeros().lock().is_none());
+    }
+
+    #[test]
+    fn empty_deltas_empty_tensor() {
+        let (ctx, enc) = setup();
+        let pre = precomputed_times(&ctx, &enc, &[]);
+        assert_eq!(pre.dims(), &[0, 4]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Lightweight phase profiling for breakdown analyses.
+//!
+//! The paper's Fig. 7 breaks a TGAT training epoch into major
+//! operations (sample, batch prep, time encoding, attention, backward,
+//! …). This module provides a thread-local named-phase accumulator
+//! that framework and model code mark with [`scope`] guards; it is
+//! disabled (near-zero cost) unless a harness calls [`enable`].
+//!
+//! # Examples
+//!
+//! ```
+//! use tglite::prof;
+//!
+//! prof::enable(true);
+//! {
+//!     let _g = prof::scope("attention");
+//!     // ... work ...
+//! }
+//! let report = prof::take();
+//! assert!(report.iter().any(|(name, _)| *name == "attention"));
+//! prof::enable(false);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static PHASES: RefCell<HashMap<&'static str, Duration>> = RefCell::new(HashMap::new());
+}
+
+/// Enables or disables phase accumulation on this thread.
+pub fn enable(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Whether profiling is currently enabled on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// RAII guard accumulating wall time into a named phase on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts timing the named phase (no-op when profiling is disabled).
+pub fn scope(name: &'static str) -> ScopeGuard {
+    ScopeGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            PHASES.with(|p| {
+                *p.borrow_mut().entry(self.name).or_default() += elapsed;
+            });
+        }
+    }
+}
+
+/// Adds an externally measured duration to a phase.
+pub fn add(name: &'static str, d: Duration) {
+    if enabled() {
+        PHASES.with(|p| {
+            *p.borrow_mut().entry(name).or_default() += d;
+        });
+    }
+}
+
+/// Drains and returns the accumulated `(phase, duration)` pairs,
+/// sorted by descending duration.
+pub fn take() -> Vec<(&'static str, Duration)> {
+    let mut v: Vec<_> = PHASES.with(|p| p.borrow_mut().drain().collect());
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_records_nothing() {
+        enable(false);
+        take();
+        {
+            let _g = scope("x");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn enabled_scope_accumulates() {
+        enable(true);
+        take();
+        {
+            let _g = scope("alpha");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _g = scope("alpha");
+        }
+        add("beta", Duration::from_millis(1));
+        let report = take();
+        enable(false);
+        let alpha = report.iter().find(|(n, _)| *n == "alpha").unwrap();
+        assert!(alpha.1 >= Duration::from_millis(2));
+        assert!(report.iter().any(|(n, _)| *n == "beta"));
+    }
+
+    #[test]
+    fn take_drains() {
+        enable(true);
+        add("g", Duration::from_millis(1));
+        assert!(!take().is_empty());
+        assert!(take().is_empty());
+        enable(false);
+    }
+}

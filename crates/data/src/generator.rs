@@ -1,0 +1,285 @@
+//! Seeded synthetic CTDG generation.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tgl_graph::{NodeId, TemporalGraph, Time};
+use tgl_tensor::Tensor;
+
+use crate::DatasetSpec;
+#[cfg(test)]
+use crate::DatasetKind;
+
+/// The Table 3 row of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Node count (`|V|`).
+    pub num_nodes: usize,
+    /// Edge count (`|E|`).
+    pub num_edges: usize,
+    /// Node feature width (`d_v`).
+    pub d_node: usize,
+    /// Edge feature width (`d_e`).
+    pub d_edge: usize,
+    /// Largest timestamp (`max(t)`).
+    pub max_t: Time,
+    /// Fraction of edges that repeat an earlier (src, dst) pair — the
+    /// redundancy the dedup/cache operators exploit.
+    pub repeat_fraction: f64,
+}
+
+/// Generates the CTDG described by `spec`, with cluster-structured
+/// node features and random edge features (the paper's Table 3 notes
+/// that node features are randomly generated for the standard
+/// datasets, and edge features for MOOC/LastFM/WikiTalk too).
+///
+/// The edge process: each arrival picks a source (Zipf-weighted), then
+/// with probability `repeat_prob` repeats one of that source's recent
+/// partners, otherwise picks a fresh partner biased toward the
+/// source's latent cluster. Timestamps arrive uniformly over
+/// `[0, max_t]` (quantized to `time_quantum` when nonzero) and are
+/// sorted.
+pub fn generate(spec: &DatasetSpec) -> (Arc<TemporalGraph>, DatasetStats) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n_nodes = spec.num_nodes();
+
+    // Latent cluster per node, used for features and edge affinity.
+    let clusters: Vec<usize> = (0..n_nodes).map(|_| rng.gen_range(0..spec.n_clusters)).collect();
+
+    // Zipf-ish popularity weights for partner selection.
+    let partner_lo = if spec.bipartite() { spec.n_src } else { 0 };
+    let partner_hi = n_nodes;
+    let n_partners = partner_hi - partner_lo;
+    let weights: Vec<f64> = (0..n_partners)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_s))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    // Cumulative distribution for O(log n) sampling.
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+    // Random permutation so popular partners are spread across ids.
+    let mut partner_perm: Vec<usize> = (0..n_partners).collect();
+    for i in (1..n_partners).rev() {
+        partner_perm.swap(i, rng.gen_range(0..=i));
+    }
+
+    let draw_partner = |rng: &mut StdRng, src_cluster: usize, clusters: &[usize]| -> NodeId {
+        // Bias toward same-cluster partners: rejection sample a few
+        // times before accepting anything.
+        for attempt in 0..4 {
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(n_partners - 1);
+            let node = partner_lo + partner_perm[idx];
+            if attempt == 3 || clusters[node] == src_cluster {
+                return node as NodeId;
+            }
+        }
+        unreachable!()
+    };
+
+    // Timestamps: sorted uniform arrivals.
+    let mut times: Vec<Time> = (0..spec.n_edges)
+        .map(|_| {
+            let t = rng.gen_range(0.0..spec.max_t);
+            if spec.time_quantum > 0.0 {
+                (t / spec.time_quantum).floor() * spec.time_quantum
+            } else {
+                t
+            }
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // Pin the last timestamp to max_t so the Table 3 column is exact.
+    if let Some(last) = times.last_mut() {
+        *last = spec.max_t;
+    }
+
+    // Source selection: Zipf over sources too.
+    let src_weights: Vec<f64> = (0..spec.n_src)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_s * 0.7))
+        .collect();
+    let src_total: f64 = src_weights.iter().sum();
+    let src_cdf: Vec<f64> = src_weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / src_total;
+            Some(*acc)
+        })
+        .collect();
+    let mut src_perm: Vec<usize> = (0..spec.n_src).collect();
+    for i in (1..spec.n_src).rev() {
+        src_perm.swap(i, rng.gen_range(0..=i));
+    }
+
+    let mut history: Vec<Vec<NodeId>> = vec![Vec::new(); spec.n_src];
+    let mut seen_pairs = std::collections::HashSet::new();
+    let mut repeats = 0usize;
+    let mut edges: Vec<(NodeId, NodeId, Time)> = Vec::with_capacity(spec.n_edges);
+    for &t in &times {
+        let u: f64 = rng.gen();
+        let sidx = src_cdf.partition_point(|&c| c < u).min(spec.n_src - 1);
+        let src = src_perm[sidx] as NodeId;
+        let hist = &history[src as usize];
+        let dst = if !hist.is_empty() && rng.gen_bool(spec.repeat_prob) {
+            // Recency-weighted repeat: prefer recent partners.
+            let k = hist.len();
+            let j = k - 1 - (rng.gen_range(0.0f64..1.0).powi(2) * k as f64) as usize % k;
+            hist[j.min(k - 1)]
+        } else {
+            let mut d = draw_partner(&mut rng, clusters[src as usize], &clusters);
+            if !spec.bipartite() {
+                // Avoid self-loops.
+                while d == src {
+                    d = draw_partner(&mut rng, clusters[src as usize], &clusters);
+                }
+            }
+            d
+        };
+        if !seen_pairs.insert((src, dst)) {
+            repeats += 1;
+        }
+        history[src as usize].push(dst);
+        if history[src as usize].len() > 64 {
+            history[src as usize].remove(0);
+        }
+        edges.push((src, dst, t));
+    }
+
+    let graph = Arc::new(TemporalGraph::from_edges(n_nodes, edges));
+
+    // Node features: cluster centroid + noise (gives static signal).
+    let centroids: Vec<Vec<f32>> = (0..spec.n_clusters)
+        .map(|_| {
+            (0..spec.d_node)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect()
+        })
+        .collect();
+    let mut nfeat = Vec::with_capacity(n_nodes * spec.d_node);
+    for c in clusters.iter().take(n_nodes) {
+        for j in 0..spec.d_node {
+            nfeat.push(centroids[*c][j] + rng.gen_range(-0.3f32..0.3));
+        }
+    }
+    graph.set_node_feats(Tensor::from_vec(nfeat, [n_nodes, spec.d_node]));
+
+    // Edge features: random (as the paper's † notes).
+    let efeat: Vec<f32> = (0..graph.num_edges() * spec.d_edge)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    graph.set_edge_feats(Tensor::from_vec(efeat, [graph.num_edges(), spec.d_edge]));
+
+    let stats = DatasetStats {
+        num_nodes: n_nodes,
+        num_edges: graph.num_edges(),
+        d_node: spec.d_node,
+        d_edge: spec.d_edge,
+        max_t: graph.max_time(),
+        repeat_fraction: repeats as f64 / spec.n_edges as f64,
+    };
+    (graph, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: DatasetKind) -> (Arc<TemporalGraph>, DatasetStats) {
+        generate(&DatasetSpec::of(kind).scaled_down(10))
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(10);
+        let (g, stats) = generate(&spec);
+        assert_eq!(g.num_nodes(), spec.num_nodes());
+        assert_eq!(g.num_edges(), spec.n_edges);
+        assert_eq!(stats.d_node, spec.d_node);
+        assert_eq!(g.node_feat_dim(), spec.d_node);
+        assert_eq!(g.edge_feat_dim(), spec.d_edge);
+        assert_eq!(stats.max_t, spec.max_t);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = DatasetSpec::of(DatasetKind::Mooc).scaled_down(20);
+        let (g1, s1) = generate(&spec);
+        let (g2, s2) = generate(&spec);
+        assert_eq!(g1.src(), g2.src());
+        assert_eq!(g1.dst(), g2.dst());
+        assert_eq!(g1.times(), g2.times());
+        assert_eq!(s1, s2);
+        assert_eq!(
+            g1.node_feats().unwrap().to_vec(),
+            g2.node_feats().unwrap().to_vec()
+        );
+    }
+
+    #[test]
+    fn bipartite_edges_cross_partition() {
+        let spec = DatasetSpec::of(DatasetKind::Reddit).scaled_down(10);
+        let (g, _) = generate(&spec);
+        for (&s, &d) in g.src().iter().zip(g.dst()) {
+            assert!((s as usize) < spec.n_src, "src {s} out of user range");
+            assert!((d as usize) >= spec.n_src, "dst {d} not an item");
+        }
+    }
+
+    #[test]
+    fn non_bipartite_has_no_self_loops() {
+        let (g, _) = quick(DatasetKind::WikiTalk);
+        assert!(g.src().iter().zip(g.dst()).all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn times_sorted_and_bounded() {
+        let (g, stats) = quick(DatasetKind::Lastfm);
+        assert!(g.times().windows(2).all(|w| w[0] <= w[1]));
+        assert!(stats.max_t <= DatasetSpec::of(DatasetKind::Lastfm).max_t);
+    }
+
+    #[test]
+    fn repeat_heavy_datasets_have_high_redundancy() {
+        let (_, lastfm) = quick(DatasetKind::Lastfm);
+        let (_, wikitalk) = quick(DatasetKind::WikiTalk);
+        assert!(
+            lastfm.repeat_fraction > 0.5,
+            "LastFM-shape should repeat heavily, got {}",
+            lastfm.repeat_fraction
+        );
+        assert!(
+            lastfm.repeat_fraction > wikitalk.repeat_fraction,
+            "LastFM redundancy should exceed WikiTalk"
+        );
+    }
+
+    #[test]
+    fn gdelt_deltas_are_quantized() {
+        let (g, _) = quick(DatasetKind::Gdelt);
+        let q = DatasetSpec::of(DatasetKind::Gdelt).time_quantum;
+        // All but the pinned final timestamp lie on the quantum grid.
+        let n = g.num_edges();
+        for &t in &g.times()[..n - 1] {
+            assert!(
+                (t / q - (t / q).round()).abs() < 1e-9,
+                "timestamp {t} not on {q} grid"
+            );
+        }
+        // Few distinct deltas relative to edges (time-precompute wins).
+        let distinct: std::collections::HashSet<u64> = g.times()[..n - 1]
+            .windows(2)
+            .map(|w| (w[1] - w[0]).to_bits())
+            .collect();
+        assert!(
+            distinct.len() * 4 < n,
+            "expected quantized deltas to collapse: {} distinct / {n}",
+            distinct.len()
+        );
+    }
+}

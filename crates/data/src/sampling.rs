@@ -1,0 +1,130 @@
+//! Negative edge sampling for link-prediction training.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tgl_graph::NodeId;
+
+/// Draws negative destination nodes uniformly from the destination
+/// universe (the item partition for bipartite datasets, all nodes
+/// otherwise) — the standard corruption scheme for temporal link
+/// prediction.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    lo: NodeId,
+    hi: NodeId,
+    rng: StdRng,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler over destination ids `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(lo: NodeId, hi: NodeId, seed: u64) -> NegativeSampler {
+        assert!(lo < hi, "empty negative range");
+        NegativeSampler {
+            lo,
+            hi,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sampler matching a dataset spec's destination universe.
+    pub fn for_spec(spec: &crate::DatasetSpec, seed: u64) -> NegativeSampler {
+        if spec.bipartite() {
+            NegativeSampler::new(spec.n_src as NodeId, spec.num_nodes() as NodeId, seed)
+        } else {
+            NegativeSampler::new(0, spec.num_nodes() as NodeId, seed)
+        }
+    }
+
+    /// Draws `n` negatives.
+    pub fn draw(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.rng.gen_range(self.lo..self.hi)).collect()
+    }
+
+    /// Draws `n` *historical* negatives: with probability `p_hist`
+    /// each negative is a destination that actually appeared earlier
+    /// in the stream (drawn from `seen`), otherwise uniform. This is
+    /// the harder corruption scheme of recent temporal-graph
+    /// benchmarks; pass the destinations observed so far.
+    pub fn draw_historical(&mut self, n: usize, seen: &[NodeId], p_hist: f64) -> Vec<NodeId> {
+        (0..n)
+            .map(|_| {
+                if !seen.is_empty() && self.rng.gen_bool(p_hist) {
+                    seen[self.rng.gen_range(0..seen.len())]
+                } else {
+                    self.rng.gen_range(self.lo..self.hi)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn draws_within_range() {
+        let mut s = NegativeSampler::new(10, 20, 0);
+        let v = s.draw(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&n| (10..20).contains(&n)));
+        // Covers the range reasonably.
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        assert!(distinct.len() >= 9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NegativeSampler::new(0, 100, 7).draw(50);
+        let b = NegativeSampler::new(0, 100, 7).draw(50);
+        assert_eq!(a, b);
+        let c = NegativeSampler::new(0, 100, 8).draw(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn for_spec_respects_bipartite_partition() {
+        let spec = DatasetSpec::of(DatasetKind::Wiki);
+        let mut s = NegativeSampler::for_spec(&spec, 0);
+        assert!(s.draw(200).iter().all(|&n| (n as usize) >= spec.n_src));
+        let spec2 = DatasetSpec::of(DatasetKind::WikiTalk);
+        let mut s2 = NegativeSampler::for_spec(&spec2, 0);
+        assert!(s2.draw(200).iter().all(|&n| (n as usize) < spec2.num_nodes()));
+    }
+
+    #[test]
+    fn historical_negatives_come_from_seen_set() {
+        let mut s = NegativeSampler::new(0, 1000, 1);
+        let seen = vec![7u32, 7, 7, 42];
+        let v = s.draw_historical(500, &seen, 1.0);
+        assert!(v.iter().all(|n| seen.contains(n)));
+        // Popular destinations dominate (frequency-proportional).
+        let sevens = v.iter().filter(|&&n| n == 7).count();
+        assert!(sevens > 250, "got {sevens}");
+    }
+
+    #[test]
+    fn historical_with_zero_prob_is_uniform() {
+        let mut s = NegativeSampler::new(10, 20, 2);
+        let v = s.draw_historical(100, &[999], 0.0);
+        assert!(v.iter().all(|&n| (10..20).contains(&n)));
+    }
+
+    #[test]
+    fn historical_empty_seen_falls_back() {
+        let mut s = NegativeSampler::new(10, 20, 3);
+        let v = s.draw_historical(50, &[], 1.0);
+        assert!(v.iter().all(|&n| (10..20).contains(&n)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty negative range")]
+    fn empty_range_panics() {
+        NegativeSampler::new(5, 5, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Chronological train/validation/test splits.
+
+use std::ops::Range;
+
+use tgl_graph::TemporalGraph;
+
+/// Edge-index ranges for the standard chronological 70/15/15 split
+/// used by the TGNN literature (and TGL's training scripts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training edges (earliest).
+    pub train: Range<usize>,
+    /// Validation edges.
+    pub val: Range<usize>,
+    /// Test edges (latest).
+    pub test: Range<usize>,
+}
+
+/// Splits a graph's chronological edge list into train/val/test by the
+/// given fractions.
+///
+/// # Panics
+///
+/// Panics unless `0 < train_frac`, `0 <= val_frac`, and
+/// `train_frac + val_frac < 1`.
+pub fn chronological_split(g: &TemporalGraph, train_frac: f64, val_frac: f64) -> Split {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+    let e = g.num_edges();
+    let t_end = (e as f64 * train_frac) as usize;
+    let v_end = (e as f64 * (train_frac + val_frac)) as usize;
+    Split {
+        train: 0..t_end,
+        val: t_end..v_end,
+        test: v_end..e,
+    }
+}
+
+impl Split {
+    /// The standard 70/15/15 split.
+    pub fn standard(g: &TemporalGraph) -> Split {
+        chronological_split(g, 0.70, 0.15)
+    }
+
+    /// Iterates `(start..end)` batch ranges of `batch_size` over a
+    /// split portion, including a final partial batch.
+    pub fn batches(range: &Range<usize>, batch_size: usize) -> impl Iterator<Item = Range<usize>> {
+        let (start, end) = (range.start, range.end);
+        (start..end)
+            .step_by(batch_size.max(1))
+            .map(move |s| s..(s + batch_size).min(end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n_edges: usize) -> TemporalGraph {
+        TemporalGraph::from_edges(
+            4,
+            (0..n_edges).map(|i| (0, 1, i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn fractions_partition_edges() {
+        let g = graph(100);
+        let s = Split::standard(&g);
+        assert_eq!(s.train, 0..70);
+        assert_eq!(s.val, 70..85);
+        assert_eq!(s.test, 85..100);
+    }
+
+    #[test]
+    fn split_is_chronological() {
+        let g = graph(50);
+        let s = chronological_split(&g, 0.5, 0.2);
+        assert!(s.train.end <= s.val.start || s.val.is_empty());
+        assert!(s.val.end <= s.test.start || s.test.is_empty());
+        assert_eq!(s.test.end, 50);
+    }
+
+    #[test]
+    fn batches_cover_range_exactly() {
+        let r = 10..47;
+        let ranges: Vec<_> = Split::batches(&r, 10).collect();
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 10..20);
+        assert_eq!(ranges[3], 40..47, "final partial batch included");
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_fractions_panic() {
+        chronological_split(&graph(10), 0.9, 0.2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Temporal-graph statistics.
+//!
+//! Quantifies the structural properties the paper's optimizations
+//! exploit: repeat-interaction redundancy (dedup/cache), duplicate
+//! time deltas (time precomputation), and degree/recency skew. Used by
+//! the dataset benches and useful for characterizing user datasets.
+
+use std::collections::{HashMap, HashSet};
+
+use tgl_graph::TemporalGraph;
+
+/// Structural statistics of a CTDG edge stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalStats {
+    /// Fraction of edges whose `(src, dst)` pair appeared before.
+    pub repeat_edge_fraction: f64,
+    /// Distinct inter-event time deltas divided by edge count (low ⇒
+    /// time-precomputation reuses many `Φ(Δt)` rows).
+    pub distinct_delta_fraction: f64,
+    /// Mean time between consecutive events.
+    pub mean_interevent: f64,
+    /// Maximum undirected degree.
+    pub max_degree: usize,
+    /// Mean undirected degree.
+    pub mean_degree: f64,
+    /// Gini coefficient of the degree distribution (0 = uniform,
+    /// → 1 = concentrated on few hubs).
+    pub degree_gini: f64,
+    /// Fraction of nodes that never appear as an endpoint.
+    pub isolated_fraction: f64,
+}
+
+/// Computes [`TemporalStats`] over a graph's full edge stream.
+///
+/// # Panics
+///
+/// Panics on a graph with no edges.
+pub fn temporal_stats(g: &TemporalGraph) -> TemporalStats {
+    assert!(g.num_edges() > 0, "stats of an empty stream");
+    let e = g.num_edges();
+
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(e);
+    let mut repeats = 0usize;
+    let mut degree = vec![0usize; g.num_nodes()];
+    for i in 0..e {
+        let (s, d, _) = g.edge(i);
+        if !seen.insert((s, d)) {
+            repeats += 1;
+        }
+        degree[s as usize] += 1;
+        degree[d as usize] += 1;
+    }
+
+    let times = g.times();
+    let mut deltas: HashMap<u64, usize> = HashMap::new();
+    let mut total_delta = 0.0f64;
+    for w in times.windows(2) {
+        let d = w[1] - w[0];
+        total_delta += d;
+        *deltas.entry(d.to_bits()).or_default() += 1;
+    }
+    let n_deltas = (e - 1).max(1);
+
+    let isolated = degree.iter().filter(|&&d| d == 0).count();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    let mean_degree = degree.iter().sum::<usize>() as f64 / g.num_nodes() as f64;
+
+    TemporalStats {
+        repeat_edge_fraction: repeats as f64 / e as f64,
+        distinct_delta_fraction: deltas.len() as f64 / n_deltas as f64,
+        mean_interevent: total_delta / n_deltas as f64,
+        max_degree,
+        mean_degree,
+        degree_gini: gini(&degree),
+        isolated_fraction: isolated as f64 / g.num_nodes() as f64,
+    }
+}
+
+/// Gini coefficient of a non-negative integer distribution.
+fn gini(values: &[usize]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    v.sort_by(f64::total_cmp);
+    let total: f64 = v.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * x)
+        .sum();
+    weighted / (n as f64 * total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetKind, DatasetSpec};
+
+    #[test]
+    fn repeat_fraction_counts_duplicates() {
+        let g = TemporalGraph::from_edges(
+            3,
+            vec![(0, 1, 1.0), (0, 1, 2.0), (1, 2, 3.0), (0, 1, 4.0)],
+        );
+        let s = temporal_stats(&g);
+        assert!((s.repeat_edge_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_times_collapse_deltas() {
+        // All deltas equal -> one distinct delta over e-1 gaps.
+        let g = TemporalGraph::from_edges(2, (0..10).map(|i| (0, 1, i as f64)).collect());
+        let s = temporal_stats(&g);
+        assert!((s.distinct_delta_fraction - 1.0 / 9.0).abs() < 1e-9);
+        assert!((s.mean_interevent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = TemporalGraph::from_edges(4, vec![(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)]);
+        let s = temporal_stats(&g);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.mean_degree - 1.5).abs() < 1e-9);
+        assert_eq!(s.isolated_fraction, 0.0);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-9, "uniform => 0");
+        assert!(gini(&[0, 0, 0, 100]) > 0.7, "concentrated => high");
+    }
+
+    #[test]
+    fn gdelt_shape_has_fewer_distinct_deltas_than_wiki() {
+        let (gd, _) = generate(&DatasetSpec::of(DatasetKind::Gdelt).scaled_down(10));
+        let (wk, _) = generate(&DatasetSpec::of(DatasetKind::Wiki).scaled_down(10));
+        let sg = temporal_stats(&gd);
+        let sw = temporal_stats(&wk);
+        assert!(
+            sg.distinct_delta_fraction < sw.distinct_delta_fraction,
+            "GDELT quantization should collapse deltas: {} vs {}",
+            sg.distinct_delta_fraction,
+            sw.distinct_delta_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn empty_graph_panics() {
+        temporal_stats(&TemporalGraph::from_edges(2, vec![]));
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-tier allocation tracking with optional capacity enforcement.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::Device;
+
+/// Error returned when a simulated device allocation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The accelerator tier would exceed its configured capacity.
+    ///
+    /// This mirrors a CUDA out-of-memory failure: the paper's Table 7
+    /// reports TGL running out of GPU memory on the V100 for large
+    /// datasets while TGLite completes.
+    OutOfDeviceMemory {
+        /// Bytes the failing request asked for.
+        requested: u64,
+        /// Bytes already in use on the tier.
+        used: u64,
+        /// The configured capacity of the tier.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfDeviceMemory {
+                requested,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes with {used}/{capacity} in use"
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+static ACCEL_USED: AtomicU64 = AtomicU64::new(0);
+static ACCEL_PEAK: AtomicU64 = AtomicU64::new(0);
+static HOST_USED: AtomicU64 = AtomicU64::new(0);
+static ACCEL_CAPACITY: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Records an allocation of `bytes` on `device`.
+///
+/// # Errors
+///
+/// Returns [`DeviceError::OutOfDeviceMemory`] if `device` is
+/// [`Device::Accel`] and a capacity cap is set that the allocation would
+/// exceed. Host allocations never fail.
+pub fn alloc(device: Device, bytes: u64) -> Result<(), DeviceError> {
+    match device {
+        Device::Host => {
+            HOST_USED.fetch_add(bytes, Ordering::Relaxed);
+            Ok(())
+        }
+        Device::Accel => {
+            let cap = *ACCEL_CAPACITY.lock();
+            let prev = ACCEL_USED.fetch_add(bytes, Ordering::Relaxed);
+            if let Some(capacity) = cap {
+                if prev + bytes > capacity {
+                    ACCEL_USED.fetch_sub(bytes, Ordering::Relaxed);
+                    return Err(DeviceError::OutOfDeviceMemory {
+                        requested: bytes,
+                        used: prev,
+                        capacity,
+                    });
+                }
+            }
+            ACCEL_PEAK.fetch_max(prev + bytes, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+}
+
+/// Records a deallocation of `bytes` on `device`.
+pub fn free(device: Device, bytes: u64) {
+    let counter = match device {
+        Device::Host => &HOST_USED,
+        Device::Accel => &ACCEL_USED,
+    };
+    // Saturating: a mismatched free is a bug in the caller, but clamping
+    // keeps the counters sane instead of wrapping to u64::MAX.
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(bytes))
+        })
+        .ok();
+}
+
+/// Sets (or clears) the capacity cap of a tier in bytes.
+///
+/// Only the accelerator tier supports a cap; setting a cap on
+/// [`Device::Host`] is ignored.
+pub fn set_capacity(device: Device, cap: Option<u64>) {
+    if device == Device::Accel {
+        *ACCEL_CAPACITY.lock() = cap;
+    }
+}
+
+/// Returns the current capacity cap of a tier, if any.
+pub fn capacity(device: Device) -> Option<u64> {
+    match device {
+        Device::Host => None,
+        Device::Accel => *ACCEL_CAPACITY.lock(),
+    }
+}
+
+/// Returns `(accel_used, accel_peak, host_used)` in bytes.
+pub(crate) fn usage() -> (u64, u64, u64) {
+    (
+        ACCEL_USED.load(Ordering::Relaxed),
+        ACCEL_PEAK.load(Ordering::Relaxed),
+        HOST_USED.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the accelerator peak-usage watermark to current usage.
+pub(crate) fn reset_peak() {
+    ACCEL_PEAK.store(ACCEL_USED.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let (used0, _, _) = usage();
+        alloc(Device::Accel, 100).unwrap();
+        let (used1, _, _) = usage();
+        assert_eq!(used1, used0 + 100);
+        free(Device::Accel, 100);
+        let (used2, _, _) = usage();
+        assert_eq!(used2, used0);
+    }
+
+    #[test]
+    fn host_alloc_never_fails() {
+        alloc(Device::Host, u64::MAX / 4).unwrap();
+        free(Device::Host, u64::MAX / 4);
+    }
+
+    #[test]
+    fn capacity_cap_enforced() {
+        // Use a huge request so the cap trips regardless of what other
+        // concurrently-running tests have allocated.
+        set_capacity(Device::Accel, Some(1 << 20));
+        let err = alloc(Device::Accel, 1 << 30).unwrap_err();
+        match err {
+            DeviceError::OutOfDeviceMemory {
+                requested,
+                capacity,
+                ..
+            } => {
+                assert_eq!(requested, 1 << 30);
+                assert_eq!(capacity, 1 << 20);
+            }
+        }
+        set_capacity(Device::Accel, None);
+        // Once the cap is lifted the same request succeeds.
+        alloc(Device::Accel, 1 << 30).unwrap();
+        free(Device::Accel, 1 << 30);
+    }
+
+    #[test]
+    fn failed_alloc_does_not_leak_usage() {
+        set_capacity(Device::Accel, Some(1));
+        let (used0, _, _) = usage();
+        assert!(alloc(Device::Accel, 1 << 40).is_err());
+        let (used1, _, _) = usage();
+        assert_eq!(used0, used1);
+        set_capacity(Device::Accel, None);
+    }
+
+    #[test]
+    fn oom_error_display_mentions_bytes() {
+        let e = DeviceError::OutOfDeviceMemory {
+            requested: 10,
+            used: 5,
+            capacity: 12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains("5/12"));
+    }
+
+    #[test]
+    fn mismatched_free_saturates() {
+        let (used0, _, _) = usage();
+        free(Device::Accel, u64::MAX);
+        let (used1, _, _) = usage();
+        assert!(used1 <= used0);
+        // Restore balance for other tests (best effort).
+        alloc(Device::Accel, used0.saturating_sub(used1)).ok();
+    }
+}

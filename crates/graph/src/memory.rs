@@ -1,0 +1,146 @@
+//! Node memory: per-node state vectors with last-update timestamps.
+
+use parking_lot::RwLock;
+use tgl_device::Device;
+use tgl_tensor::Tensor;
+
+use crate::{NodeId, Time};
+
+/// "Storage for node memory vectors and their last updated timestamps"
+/// (paper Table 2).
+///
+/// Memory updates happen *outside* the autograd graph: models compute
+/// new memory as graph tensors (so gradients reach the updater's
+/// parameters through the batch loss), then [`Memory::store`] the
+/// detached values, mirroring TGL's `last_updated_mem` pattern.
+#[derive(Debug)]
+pub struct Memory {
+    data: Tensor,
+    time: RwLock<Vec<Time>>,
+    dim: usize,
+}
+
+impl Memory {
+    /// Creates zeroed memory for `num_nodes` nodes of width `dim` on
+    /// `device`.
+    pub fn new(num_nodes: usize, dim: usize, device: Device) -> Memory {
+        Memory {
+            data: Tensor::zeros_on([num_nodes, dim], device),
+            time: RwLock::new(vec![0.0; num_nodes]),
+            dim,
+        }
+    }
+
+    /// Memory vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// The device tier the memory tensor lives on.
+    pub fn device(&self) -> Device {
+        self.data.device()
+    }
+
+    /// Gathers memory rows for `nodes` as a detached `[n, dim]` tensor
+    /// (on the memory's device).
+    pub fn rows(&self, nodes: &[NodeId]) -> Tensor {
+        let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
+        self.data.index_select(&idx)
+    }
+
+    /// Last-update timestamps for `nodes`.
+    pub fn times(&self, nodes: &[NodeId]) -> Vec<Time> {
+        let t = self.time.read();
+        nodes.iter().map(|&n| t[n as usize]).collect()
+    }
+
+    /// Overwrites memory rows and their update times (detached write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not `[nodes.len(), dim]`.
+    pub fn store(&self, nodes: &[NodeId], values: &Tensor, times: &[Time]) {
+        assert_eq!(values.dims(), &[nodes.len(), self.dim], "memory store shape");
+        assert_eq!(nodes.len(), times.len(), "memory store times length");
+        let src = values.to_vec();
+        self.data.with_data_mut(|data| {
+            for (k, &n) in nodes.iter().enumerate() {
+                let n = n as usize;
+                data[n * self.dim..(n + 1) * self.dim]
+                    .copy_from_slice(&src[k * self.dim..(k + 1) * self.dim]);
+            }
+        });
+        let mut t = self.time.write();
+        for (&n, &ts) in nodes.iter().zip(times) {
+            t[n as usize] = ts;
+        }
+    }
+
+    /// Zeroes all memory and timestamps (start of a training epoch, to
+    /// avoid information leakage across epochs).
+    pub fn reset(&self) {
+        self.data.with_data_mut(|d| d.fill(0.0));
+        self.time.write().fill(0.0);
+    }
+
+    /// Raw handle to the full memory tensor (for whole-table transfer
+    /// or inspection).
+    pub fn data(&self) -> &Tensor {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m = Memory::new(4, 3, Device::Host);
+        assert_eq!(m.rows(&[0, 3]).to_vec(), vec![0.0; 6]);
+        assert_eq!(m.times(&[0, 1, 2, 3]), vec![0.0; 4]);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.num_nodes(), 4);
+    }
+
+    #[test]
+    fn store_and_gather_roundtrip() {
+        let m = Memory::new(3, 2, Device::Host);
+        let vals = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        m.store(&[2, 0], &vals, &[10.0, 20.0]);
+        assert_eq!(m.rows(&[0]).to_vec(), vec![3.0, 4.0]);
+        assert_eq!(m.rows(&[2]).to_vec(), vec![1.0, 2.0]);
+        assert_eq!(m.rows(&[1]).to_vec(), vec![0.0, 0.0]);
+        assert_eq!(m.times(&[2, 0, 1]), vec![10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = Memory::new(2, 2, Device::Host);
+        m.store(&[1], &Tensor::ones([1, 2]), &[5.0]);
+        m.reset();
+        assert_eq!(m.rows(&[1]).to_vec(), vec![0.0, 0.0]);
+        assert_eq!(m.times(&[1]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory store shape")]
+    fn store_shape_mismatch_panics() {
+        let m = Memory::new(2, 2, Device::Host);
+        m.store(&[0], &Tensor::ones([1, 3]), &[1.0]);
+    }
+
+    #[test]
+    fn repeated_store_keeps_latest() {
+        let m = Memory::new(1, 1, Device::Host);
+        m.store(&[0], &Tensor::from_vec(vec![1.0], [1, 1]), &[1.0]);
+        m.store(&[0], &Tensor::from_vec(vec![9.0], [1, 1]), &[2.0]);
+        assert_eq!(m.rows(&[0]).to_vec(), vec![9.0]);
+        assert_eq!(m.times(&[0]), vec![2.0]);
+    }
+}

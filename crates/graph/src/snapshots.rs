@@ -1,0 +1,209 @@
+//! Discrete-time snapshot views over a CTDG.
+//!
+//! The paper's future-work section (§7) proposes "extending support
+//! for discrete-time models ... in accordance with TGLite's design
+//! approach of providing core data abstractions and composable
+//! operators ... perhaps as composable operators on a graph snapshot
+//! abstraction." This module provides that abstraction: a
+//! [`SnapshotView`] partitions the continuous edge stream into
+//! time-window snapshots (DTDGs), each exposing the cumulative or
+//! windowed edge set — without copying the underlying graph.
+
+use std::ops::Range;
+
+use crate::{NodeId, TemporalGraph, Time};
+
+/// How a snapshot's edge set relates to the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SnapshotMode {
+    /// Snapshot `k` contains only edges inside window `k`
+    /// (disjoint DTDG deltas).
+    #[default]
+    Windowed,
+    /// Snapshot `k` contains all edges up to the end of window `k`
+    /// (growing graphs, as in EvolveGCN-style pipelines).
+    Cumulative,
+}
+
+/// A partition of a temporal graph's chronological edge list into
+/// equal-width time windows.
+#[derive(Debug, Clone)]
+pub struct SnapshotView<'g> {
+    graph: &'g TemporalGraph,
+    boundaries: Vec<Time>,
+    starts: Vec<usize>,
+    mode: SnapshotMode,
+}
+
+/// One discrete snapshot: a time window plus its edge-index range.
+#[derive(Debug, Clone)]
+pub struct Snapshot<'g> {
+    graph: &'g TemporalGraph,
+    /// The half-open time window `[t_start, t_end)` of this snapshot.
+    pub window: (Time, Time),
+    /// The edge-index range (chronological ids) this snapshot exposes.
+    pub edges: Range<usize>,
+}
+
+impl<'g> SnapshotView<'g> {
+    /// Splits `graph`'s time span `[0, max_t]` into `num` equal
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num == 0`.
+    pub fn new(graph: &'g TemporalGraph, num: usize, mode: SnapshotMode) -> SnapshotView<'g> {
+        assert!(num > 0, "need at least one snapshot");
+        let max_t = graph.max_time();
+        let width = if max_t > 0.0 { max_t / num as f64 } else { 1.0 };
+        let boundaries: Vec<Time> = (0..=num).map(|i| width * i as f64).collect();
+        // starts[i] = first edge index with time >= boundaries[i].
+        let times = graph.times();
+        let starts = boundaries
+            .iter()
+            .map(|&b| times.partition_point(|&t| t < b))
+            .collect();
+        SnapshotView {
+            graph,
+            boundaries,
+            starts,
+            mode,
+        }
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// True when the view has no snapshots (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn snapshot(&self, k: usize) -> Snapshot<'g> {
+        assert!(k < self.len(), "snapshot {k} out of range");
+        let start = match self.mode {
+            SnapshotMode::Windowed => self.starts[k],
+            SnapshotMode::Cumulative => 0,
+        };
+        // The final window is closed on the right so max-time edges
+        // belong to the last snapshot.
+        let end = if k + 1 == self.len() {
+            self.graph.num_edges()
+        } else {
+            self.starts[k + 1]
+        };
+        Snapshot {
+            graph: self.graph,
+            window: (self.boundaries[k], self.boundaries[k + 1]),
+            edges: start..end,
+        }
+    }
+
+    /// Iterates the snapshots in time order.
+    pub fn iter(&self) -> impl Iterator<Item = Snapshot<'g>> + '_ {
+        (0..self.len()).map(|k| self.snapshot(k))
+    }
+}
+
+impl Snapshot<'_> {
+    /// Number of edges in this snapshot.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(src, dst, time)` triples of this snapshot.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (NodeId, NodeId, Time)> + '_ {
+        self.edges.clone().map(|i| self.graph.edge(i))
+    }
+
+    /// Static per-node degree within this snapshot (undirected).
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.graph.num_nodes()];
+        for (s, d, _) in self.edge_iter() {
+            deg[s as usize] += 1;
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> TemporalGraph {
+        // 10 edges at t = 1..=10, max_t = 10.
+        TemporalGraph::from_edges(
+            4,
+            (1..=10).map(|i| (0, 1 + (i % 3), i as Time)).collect(),
+        )
+    }
+
+    #[test]
+    fn windowed_snapshots_partition_edges() {
+        let g = graph();
+        let view = SnapshotView::new(&g, 5, SnapshotMode::Windowed);
+        assert_eq!(view.len(), 5);
+        assert!(!view.is_empty());
+        let total: usize = view.iter().map(|s| s.num_edges()).sum();
+        assert_eq!(total, g.num_edges(), "windows must partition the stream");
+        // Edge times fall inside their windows (last window closed).
+        for (k, snap) in view.iter().enumerate() {
+            for (_, _, t) in snap.edge_iter() {
+                assert!(t >= snap.window.0, "snapshot {k}: {t} < {}", snap.window.0);
+                if k + 1 < view.len() {
+                    assert!(t < snap.window.1);
+                } else {
+                    assert!(t <= snap.window.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_snapshots_grow() {
+        let g = graph();
+        let view = SnapshotView::new(&g, 4, SnapshotMode::Cumulative);
+        let sizes: Vec<usize> = view.iter().map(|s| s.num_edges()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+        assert_eq!(*sizes.last().unwrap(), g.num_edges());
+        assert!(view.iter().all(|s| s.edges.start == 0));
+    }
+
+    #[test]
+    fn single_snapshot_covers_everything() {
+        let g = graph();
+        let view = SnapshotView::new(&g, 1, SnapshotMode::Windowed);
+        assert_eq!(view.snapshot(0).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let g = TemporalGraph::from_edges(3, vec![(0, 1, 1.0), (0, 2, 2.0)]);
+        let view = SnapshotView::new(&g, 1, SnapshotMode::Windowed);
+        assert_eq!(view.snapshot(0).degrees(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_snapshot_panics() {
+        let g = graph();
+        SnapshotView::new(&g, 2, SnapshotMode::Windowed).snapshot(5);
+    }
+
+    #[test]
+    fn empty_graph_snapshots() {
+        let g = TemporalGraph::from_edges(2, vec![]);
+        let view = SnapshotView::new(&g, 3, SnapshotMode::Windowed);
+        assert_eq!(view.len(), 3);
+        assert!(view.iter().all(|s| s.num_edges() == 0));
+    }
+}

@@ -1,0 +1,22 @@
+//! Training/evaluation harness for the TGLite reproduction.
+//!
+//! Provides the pieces the paper's evaluation (§5) is built from:
+//!
+//! * [`metrics::average_precision`] — the AP score reported in every
+//!   accuracy table;
+//! * [`Trainer`] — epoch loop with chronological batching, negative
+//!   sampling, BCE loss, Adam, and per-epoch timing;
+//! * [`runner`] — experiment configuration (framework × model ×
+//!   dataset × data placement) and a single entry point that returns
+//!   the timing/accuracy numbers each table/figure needs;
+//! * [`table`] — fixed-width text rendering for paper-style tables.
+
+pub mod logging;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+mod trainer;
+
+pub use runner::{run_experiment, run_experiment_with_capacity, ExperimentConfig, ExperimentResult, Framework, ModelKind, Placement};
+pub use logging::MetricLog;
+pub use trainer::{process_cpu_seconds, CpuTimer, EpochStats, TrainConfig, Trainer};

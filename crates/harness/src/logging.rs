@@ -1,0 +1,152 @@
+//! CSV metric logging.
+//!
+//! The paper's artifact "will write output text to the console and
+//! timing data to CSV files" which its plotting scripts consume. This
+//! module provides the same workflow: record per-epoch/per-phase rows
+//! during a run, then write a CSV.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::EpochStats;
+
+/// An append-only metric log with a fixed column set.
+#[derive(Debug, Clone, Default)]
+pub struct MetricLog {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MetricLog {
+    /// Creates a log with the given column names.
+    pub fn new(columns: &[&str]) -> MetricLog {
+        MetricLog {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A log with the standard per-epoch training columns.
+    pub fn for_training() -> MetricLog {
+        MetricLog::new(&["epoch", "loss", "train_s", "val_ap"])
+    }
+
+    /// Appends a raw row (padded/truncated to the column count).
+    pub fn record(&mut self, cells: &[String]) {
+        let mut row = cells.to_vec();
+        row.resize(self.columns.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends a standard training row (see [`MetricLog::for_training`]).
+    pub fn record_epoch(&mut self, epoch: usize, stats: &EpochStats) {
+        self.record(&[
+            epoch.to_string(),
+            format!("{:.6}", stats.loss),
+            format!("{:.4}", stats.train_time_s),
+            format!("{:.6}", stats.val_ap),
+        ]);
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the log as CSV text (header + rows, RFC-4180-style
+    /// quoting for cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = self
+            .columns
+            .iter()
+            .map(|c| quote(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Writes the CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut log = MetricLog::new(&["a", "b"]);
+        log.record(&["1".into(), "plain".into()]);
+        log.record(&["2".into(), "has,comma".into()]);
+        log.record(&["3".into(), "has\"quote".into()]);
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], "2,\"has,comma\"");
+        assert_eq!(lines[3], "3,\"has\"\"quote\"");
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn epoch_rows_use_standard_columns() {
+        let mut log = MetricLog::for_training();
+        log.record_epoch(
+            0,
+            &EpochStats {
+                loss: 0.5,
+                train_time_s: 1.25,
+                val_ap: 0.9,
+            },
+        );
+        let csv = log.to_csv();
+        assert!(csv.starts_with("epoch,loss,train_s,val_ap\n"));
+        assert!(csv.contains("0,0.500000,1.2500,0.900000"));
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let mut log = MetricLog::new(&["x"]);
+        log.record(&["42".into()]);
+        let dir = std::env::temp_dir().join("tgl-harness-log");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.csv");
+        log.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x\n42\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut log = MetricLog::new(&["a", "b", "c"]);
+        log.record(&["only".into()]);
+        assert_eq!(log.to_csv().lines().nth(1), Some("only,,"));
+    }
+}

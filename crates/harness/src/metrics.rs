@@ -1,0 +1,125 @@
+//! Evaluation metrics.
+
+/// Average precision (AP) of positive scores against negative scores —
+/// the accuracy metric of every table in the paper.
+///
+/// Computed as the area under the precision-recall curve by sweeping a
+/// descending-score threshold: `AP = Σ_k precision@k · Δrecall@k`,
+/// summing at each positive hit. Ties are broken pessimistically
+/// (negatives first), so an uninformative scorer cannot look good by
+/// accident.
+///
+/// Returns a value in `[0, 1]`; 0.5 ≈ random for balanced inputs.
+///
+/// # Panics
+///
+/// Panics if both slices are empty.
+///
+/// # Examples
+///
+/// ```
+/// use tgl_harness::metrics::average_precision;
+///
+/// // Perfect separation.
+/// assert_eq!(average_precision(&[2.0, 3.0], &[-1.0, 0.0]), 1.0);
+/// ```
+pub fn average_precision(pos: &[f32], neg: &[f32]) -> f64 {
+    assert!(
+        !pos.is_empty() || !neg.is_empty(),
+        "average_precision of empty inputs"
+    );
+    if pos.is_empty() {
+        return 0.0;
+    }
+    let mut scored: Vec<(f32, bool)> = pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg.iter().map(|&s| (s, false)))
+        .collect();
+    // Descending score; ties put negatives first (pessimistic).
+    scored.sort_by(|a, b| match b.0.partial_cmp(&a.0).expect("finite scores") {
+        std::cmp::Ordering::Equal => a.1.cmp(&b.1),
+        o => o,
+    });
+    let total_pos = pos.len() as f64;
+    let mut tp = 0.0f64;
+    let mut ap = 0.0f64;
+    for (k, &(_, is_pos)) in scored.iter().enumerate() {
+        if is_pos {
+            tp += 1.0;
+            let precision = tp / (k as f64 + 1.0);
+            ap += precision / total_pos;
+        }
+    }
+    ap
+}
+
+/// Binary classification accuracy at a 0-logit threshold.
+pub fn accuracy(pos: &[f32], neg: &[f32]) -> f64 {
+    let correct = pos.iter().filter(|&&s| s > 0.0).count()
+        + neg.iter().filter(|&&s| s <= 0.0).count();
+    correct as f64 / (pos.len() + neg.len()).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        assert_eq!(average_precision(&[5.0, 4.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_are_poor() {
+        let ap = average_precision(&[0.0, 1.0], &[5.0, 4.0]);
+        assert!(ap < 0.6, "got {ap}");
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let pos: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let neg: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ap = average_precision(&pos, &neg);
+        assert!((ap - 0.5).abs() < 0.05, "got {ap}");
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        // All equal scores: AP should not be 1.
+        let ap = average_precision(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!(ap < 0.8, "got {ap}");
+    }
+
+    #[test]
+    fn single_positive_ranked_first() {
+        assert_eq!(average_precision(&[9.0], &[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn single_positive_ranked_last() {
+        let ap = average_precision(&[0.0], &[1.0, 2.0, 3.0]);
+        assert!((ap - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_interleaved_case() {
+        // Order: p(4) n(3) p(2) n(1) -> AP = (1/1 + 2/3) / 2
+        let ap = average_precision(&[4.0, 2.0], &[3.0, 1.0]);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_thresholds_at_zero() {
+        assert_eq!(accuracy(&[1.0, -1.0], &[-2.0, 3.0]), 0.5);
+        assert_eq!(accuracy(&[1.0], &[-1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_inputs_panic() {
+        average_precision(&[], &[]);
+    }
+}

@@ -1,0 +1,265 @@
+//! TGN: temporal graph network with GRU node memory (paper §4,
+//! Listing 4).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tgl_graph::NodeId;
+use tgl_sampler::SamplingStrategy;
+use tgl_tensor::nn::{GruCell, Linear, Module};
+use tgl_tensor::ops::cat;
+use tgl_tensor::{no_grad, Tensor};
+use tglite::nn::TimeEncode;
+use tglite::{op, TBatch, TBlock, TContext, TSampler};
+
+use crate::{score_embeddings, EdgePredictor, ModelConfig, OptFlags, TemporalAttnLayer, TemporalModel};
+
+/// The TGN model: GRU memory updated from a raw-message mailbox,
+/// merged with node features, then TGAT-style attention layers.
+///
+/// Training discipline follows the paper (§2 "Model Training"): the
+/// mailbox holds messages from *previous* batches; the in-graph memory
+/// update consumes them (so the GRU receives gradients through the
+/// batch loss), and only afterwards are this batch's raw messages
+/// saved — avoiding information leakage.
+pub struct Tgn {
+    layers: Vec<TemporalAttnLayer>,
+    memory_updater: GruCell,
+    mem_time_encoder: TimeEncode,
+    feat_linear: Linear,
+    sampler: TSampler,
+    predictor: EdgePredictor,
+    opts: OptFlags,
+    cfg: ModelConfig,
+    training: bool,
+    mail_dim: usize,
+}
+
+impl Tgn {
+    /// Builds TGN, attaching memory and a 1-slot mailbox to the
+    /// context's graph.
+    pub fn new(ctx: &TContext, cfg: ModelConfig, opts: OptFlags, seed: u64) -> Tgn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = ctx.graph();
+        let d_node = g.node_feat_dim();
+        let d_edge = g.edge_feat_dim();
+        let device = ctx.device();
+        let mem_dim = cfg.emb_dim;
+        let mail_dim = 2 * mem_dim + d_edge;
+        g.attach_memory(mem_dim, device);
+        g.attach_mailbox(1, mail_dim, device);
+        // All attention layers consume emb_dim-wide inputs: the tail
+        // block's inputs are memory ⊕ projected features.
+        let layers = (0..cfg.n_layers)
+            .map(|_| {
+                TemporalAttnLayer::new(cfg.emb_dim, d_edge, cfg.time_dim, cfg.emb_dim, cfg.heads, &mut rng)
+                    .to_device(device)
+            })
+            .collect();
+        Tgn {
+            layers,
+            memory_updater: GruCell::new(mail_dim + cfg.time_dim, mem_dim, &mut rng)
+                .to_device(device),
+            mem_time_encoder: TimeEncode::new(cfg.time_dim, &mut rng).to_device(device),
+            feat_linear: Linear::new(d_node, mem_dim, &mut rng).to_device(device),
+            sampler: TSampler::from_engine(
+                tgl_sampler::TemporalSampler::new(cfg.n_neighbors, SamplingStrategy::Recent)
+                    .with_seed(seed),
+            ),
+            predictor: EdgePredictor::new(cfg.emb_dim, &mut rng).to_device(device),
+            opts,
+            cfg,
+            training: true,
+            mail_dim,
+        }
+    }
+
+    /// Applies the GRU memory update (paper Eq. 9–11) to `nodes`,
+    /// returning in-graph updated memory rows `[n, mem_dim]`.
+    fn update_memory(&self, ctx: &TContext, nodes: &[NodeId]) -> Tensor {
+        let g = ctx.graph();
+        let mem = g.memory();
+        let mb = g.mailbox();
+        let device = ctx.device();
+        let mem_rows = mem.rows(nodes).to(device);
+        let mem_ts = mem.times(nodes);
+        let (mail, mail_ts) = mb.latest(nodes);
+        let mail = mail.to(device);
+        let deltas: Vec<f32> = mail_ts
+            .iter()
+            .zip(&mem_ts)
+            .map(|(&a, &b)| (a - b) as f32)
+            .collect();
+        let tfeat = if self.opts.time_precompute && !self.training {
+            op::precomputed_times(ctx, &self.mem_time_encoder, &deltas)
+        } else {
+            self.mem_time_encoder.forward(&deltas)
+        };
+        self.memory_updater
+            .forward(&cat(&[mail, tfeat], 1), &mem_rows)
+    }
+
+    /// Persists updated memory for the batch's positive endpoints and
+    /// stores this batch's raw messages in the mailbox
+    /// (paper Listing 4 `save_raw_msgs`, using `block_adj` +
+    /// `coalesce(latest)`).
+    fn save_state(&self, ctx: &TContext, batch: &TBatch) {
+        let _guard = no_grad();
+        let g = ctx.graph();
+        let blk: TBlock = batch.block_adj(ctx);
+        op::coalesce(&blk, op::CoalesceBy::Latest);
+        let uniq = blk.dst_nodes();
+        let times = blk.src_times(); // latest interaction time per node
+
+        // Persist memory: same GRU update the in-graph path applied.
+        let mem_new = self.update_memory(ctx, &uniq);
+        g.memory().store(&uniq, &mem_new, &times);
+
+        // Raw messages: [own memory ‖ counterpart memory ‖ edge feats].
+        let mem = g.memory();
+        let own = mem.rows(&uniq).to(ctx.device());
+        let counterpart = mem.rows(&blk.src_nodes()).to(ctx.device());
+        let mail = cat(&[own, counterpart, blk.efeat()], 1);
+        debug_assert_eq!(mail.dim(1), self.mail_dim);
+        g.mailbox().store(&uniq, &mail, &times);
+    }
+}
+
+impl TemporalModel for Tgn {
+    fn name(&self) -> &'static str {
+        "TGN"
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.layers.iter().flat_map(|l| l.parameters()).collect();
+        p.extend(self.memory_updater.parameters());
+        p.extend(self.mem_time_encoder.parameters());
+        p.extend(self.feat_linear.parameters());
+        p.extend(self.predictor.parameters());
+        p
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn forward(&mut self, ctx: &TContext, batch: &TBatch) -> (Tensor, Tensor) {
+        // Build the block chain (dedup only: the paper skips cache()
+        // for TGN since memory updates invalidate cached embeddings).
+        let head = batch.block(ctx);
+        let mut tail = head.clone();
+        for i in 0..self.cfg.n_layers {
+            if i > 0 {
+                tail = tail.next_block();
+            }
+            if self.opts.dedup {
+                op::dedup(&tail);
+            }
+            self.sampler.sample(&tail);
+        }
+        if self.opts.preload_pinned {
+            op::preload(ctx, &head, true);
+        }
+
+        // Deepest inputs: updated memory ⊕ projected raw features for
+        // the tail's destinations and sources (paper Listing 4 lines
+        // 4-7).
+        let mut nodes = tail.dst_nodes();
+        let n_dst = nodes.len();
+        nodes.extend(tail.src_nodes());
+        let mem = self.update_memory(ctx, &nodes);
+        let nfeat = self
+            .feat_linear
+            .forward(&ctx.graph().node_feat_rows(&nodes).to(ctx.device()));
+        let h = nfeat.add(&mem);
+        tail.set_dstdata("h", h.narrow_rows(0, n_dst));
+        tail.set_srcdata("h", h.narrow_rows(n_dst, nodes.len() - n_dst));
+
+        let use_pre = self.opts.time_precompute && !self.training;
+        let embs = op::aggregate(&head, "h", |blk| {
+            self.layers[blk.layer().min(self.cfg.n_layers - 1)].forward(ctx, blk, use_pre)
+        });
+
+        // Delayed-update discipline: persist memory + save this
+        // batch's raw messages after embedding computation.
+        self.save_state(ctx, batch);
+
+        score_embeddings(&self.predictor, &embs, batch.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{batch_with_negs, ctx_for, small_graph, train_steps};
+
+    #[test]
+    fn forward_shapes_and_state_updates() {
+        let g = small_graph(10);
+        let ctx = ctx_for(&g);
+        let mut model = Tgn::new(&ctx, ModelConfig::tiny(), OptFlags::none(), 0);
+        let batch = batch_with_negs(&g, 0..20, 0);
+        let (pos, neg) = model.forward(&ctx, &batch);
+        assert_eq!(pos.dims(), &[20]);
+        assert_eq!(neg.dims(), &[20]);
+        // Memory must have been updated for batch endpoints.
+        let mem = g.memory();
+        let touched: Vec<u32> = batch.srcs().to_vec();
+        let times = mem.times(&touched);
+        assert!(times.iter().any(|&t| t > 0.0), "memory times not updated");
+    }
+
+    #[test]
+    fn mailbox_messages_accumulate() {
+        let g = small_graph(11);
+        let ctx = ctx_for(&g);
+        let mut model = Tgn::new(&ctx, ModelConfig::tiny(), OptFlags::none(), 0);
+        let b1 = batch_with_negs(&g, 0..20, 1);
+        model.forward(&ctx, &b1);
+        let src0 = b1.srcs()[0];
+        let (mail, times) = g.mailbox().latest(&[src0]);
+        assert!(times[0] > 0.0, "mail delivery time not set");
+        assert!(mail.to_vec().iter().any(|&v| v != 0.0) || times[0] > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let g = small_graph(12);
+        let ctx = ctx_for(&g);
+        let mut model = Tgn::new(&ctx, ModelConfig::tiny(), OptFlags::none(), 2);
+        let (first, last) = train_steps(&mut model, &ctx, 12);
+        assert!(last < first, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn reset_state_clears_memory() {
+        let g = small_graph(13);
+        let ctx = ctx_for(&g);
+        let mut model = Tgn::new(&ctx, ModelConfig::tiny(), OptFlags::none(), 0);
+        let batch = batch_with_negs(&g, 0..20, 0);
+        model.forward(&ctx, &batch);
+        model.reset_state(&ctx);
+        let all: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        assert!(g.memory().times(&all).iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn dedup_matches_plain_first_step() {
+        let g = small_graph(14);
+        let logits = |opts: OptFlags| {
+            let ctx = ctx_for(&g);
+            // Fresh memory per run (attach_memory in constructor resets).
+            let mut model = Tgn::new(&ctx, ModelConfig::tiny(), opts, 5);
+            let batch = batch_with_negs(&g, 30..60, 2);
+            let (pos, _) = model.forward(&ctx, &batch);
+            pos.to_vec()
+        };
+        let plain = logits(OptFlags::none());
+        let dedup = logits(OptFlags {
+            dedup: true,
+            ..OptFlags::none()
+        });
+        for (a, b) in plain.iter().zip(&dedup) {
+            assert!((a - b).abs() < 1e-4, "dedup changed TGN semantics: {a} vs {b}");
+        }
+    }
+}

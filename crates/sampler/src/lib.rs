@@ -1,0 +1,382 @@
+//! Parallel temporal neighborhood sampling.
+//!
+//! Implements the engine behind TGLite's `TSampler` (paper Table 2):
+//! "Parallel temporal neighborhood sampling, using either uniform or
+//! most-recent sampling strategies." Given destination `(node, time)`
+//! pairs, it selects up to `k` neighbors per destination among edges
+//! *strictly earlier* than the destination's timestamp — the temporal
+//! constraint of `N(i, t)` in the paper's message-passing equations —
+//! by binary search over the time-sorted T-CSR.
+//!
+//! Work is split over destination chunks with crossbeam scoped threads
+//! (the paper uses 32/64 sampler threads on its two machines; the
+//! thread count is configurable here).
+//!
+//! # Examples
+//!
+//! ```
+//! use tgl_graph::TemporalGraph;
+//! use tgl_sampler::{SamplingStrategy, TemporalSampler};
+//!
+//! let g = TemporalGraph::from_edges(3, vec![(0, 1, 1.0), (0, 2, 2.0), (0, 1, 3.0)]);
+//! let sampler = TemporalSampler::new(2, SamplingStrategy::Recent);
+//! let s = sampler.sample(&g.tcsr(), &[0], &[10.0]);
+//! // The two most recent of node 0's three earlier edges.
+//! assert_eq!(s.src_nodes, vec![2, 1]);
+//! assert_eq!(s.src_times, vec![2.0, 3.0]);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tgl_graph::{EdgeId, NodeId, TCsr, Time};
+
+/// Neighbor selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SamplingStrategy {
+    /// The `k` most recent earlier edges (paper's default, "recent
+    /// sampling").
+    #[default]
+    Recent,
+    /// `k` earlier edges drawn uniformly without replacement.
+    Uniform,
+}
+
+/// Result of sampling one batch of destinations.
+///
+/// Rows are grouped by destination in input order: all sampled edges of
+/// destination 0, then destination 1, etc. `dst_index[i]` maps sampled
+/// edge `i` back to its destination position — the segment ids consumed
+/// by segmented operators downstream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NeighborSample {
+    /// Sampled neighbor node per edge.
+    pub src_nodes: Vec<NodeId>,
+    /// Timestamp of each sampled edge.
+    pub src_times: Vec<Time>,
+    /// Edge id of each sampled edge.
+    pub eids: Vec<EdgeId>,
+    /// Destination position (0-based within the query batch) per edge.
+    pub dst_index: Vec<usize>,
+}
+
+impl NeighborSample {
+    /// Number of sampled edges.
+    pub fn len(&self) -> usize {
+        self.src_nodes.len()
+    }
+
+    /// True when no edges were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.src_nodes.is_empty()
+    }
+
+    fn append(&mut self, other: NeighborSample) {
+        self.src_nodes.extend(other.src_nodes);
+        self.src_times.extend(other.src_times);
+        self.eids.extend(other.eids);
+        self.dst_index.extend(other.dst_index);
+    }
+}
+
+/// A configured temporal neighborhood sampler.
+#[derive(Debug, Clone)]
+pub struct TemporalSampler {
+    k: usize,
+    strategy: SamplingStrategy,
+    threads: usize,
+    seed: u64,
+    window: Option<Time>,
+}
+
+impl TemporalSampler {
+    /// Creates a sampler taking up to `k` neighbors per destination.
+    pub fn new(k: usize, strategy: SamplingStrategy) -> TemporalSampler {
+        TemporalSampler {
+            k,
+            strategy,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            seed: 0x7161_1e5d,
+            window: None,
+        }
+    }
+
+    /// Restricts sampling to edges within `window` time units before
+    /// the query time (TGL's `duration` setting): only edges with
+    /// `t_query - window <= t_edge < t_query` qualify.
+    pub fn with_window(mut self, window: Time) -> TemporalSampler {
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets the worker thread count (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> TemporalSampler {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the RNG seed for uniform sampling (deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> TemporalSampler {
+        self.seed = seed;
+        self
+    }
+
+    /// Neighbors per destination.
+    pub fn num_neighbors(&self) -> usize {
+        self.k
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// Samples neighbors for each `(dst_nodes[i], dst_times[i])` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two input slices differ in length.
+    pub fn sample(&self, csr: &TCsr, dst_nodes: &[NodeId], dst_times: &[Time]) -> NeighborSample {
+        assert_eq!(
+            dst_nodes.len(),
+            dst_times.len(),
+            "dst nodes/times length mismatch"
+        );
+        let n = dst_nodes.len();
+        if n == 0 {
+            return NeighborSample::default();
+        }
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            return self.sample_chunk(csr, dst_nodes, dst_times, 0, 0);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut partials: Vec<NeighborSample> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, (nodes, times)) in dst_nodes
+                .chunks(chunk)
+                .zip(dst_times.chunks(chunk))
+                .enumerate()
+            {
+                handles.push(scope.spawn(move |_| {
+                    self.sample_chunk(csr, nodes, times, ci * chunk, ci as u64)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("sampler thread panicked"));
+            }
+        })
+        .expect("sampler scope");
+        let mut out = NeighborSample::default();
+        for p in partials {
+            out.append(p);
+        }
+        out
+    }
+
+    fn sample_chunk(
+        &self,
+        csr: &TCsr,
+        nodes: &[NodeId],
+        times: &[Time],
+        base_index: usize,
+        chunk_id: u64,
+    ) -> NeighborSample {
+        let mut out = NeighborSample {
+            src_nodes: Vec::with_capacity(nodes.len() * self.k),
+            src_times: Vec::with_capacity(nodes.len() * self.k),
+            eids: Vec::with_capacity(nodes.len() * self.k),
+            dst_index: Vec::with_capacity(nodes.len() * self.k),
+        };
+        // Deterministic per (seed, chunk): uniform sampling does not
+        // depend on thread scheduling.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ chunk_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for (i, (&node, &t)) in nodes.iter().zip(times).enumerate() {
+            let (mut nbrs, mut eids, mut etimes) = csr.neighbors_before(node, t);
+            if let Some(w) = self.window {
+                // Entries are time-sorted; drop the too-old prefix.
+                let cut = etimes.partition_point(|&et| et < t - w);
+                nbrs = &nbrs[cut..];
+                eids = &eids[cut..];
+                etimes = &etimes[cut..];
+            }
+            let avail = nbrs.len();
+            if avail == 0 {
+                continue;
+            }
+            let dst = base_index + i;
+            match self.strategy {
+                SamplingStrategy::Recent => {
+                    let start = avail.saturating_sub(self.k);
+                    for j in start..avail {
+                        out.src_nodes.push(nbrs[j]);
+                        out.src_times.push(etimes[j]);
+                        out.eids.push(eids[j]);
+                        out.dst_index.push(dst);
+                    }
+                }
+                SamplingStrategy::Uniform => {
+                    if avail <= self.k {
+                        for j in 0..avail {
+                            out.src_nodes.push(nbrs[j]);
+                            out.src_times.push(etimes[j]);
+                            out.eids.push(eids[j]);
+                            out.dst_index.push(dst);
+                        }
+                    } else {
+                        // Partial Fisher–Yates over [0, avail): k draws
+                        // without replacement in O(k) extra space.
+                        let mut swapped: std::collections::HashMap<usize, usize> =
+                            std::collections::HashMap::with_capacity(self.k * 2);
+                        for draw in 0..self.k {
+                            let r = rng.gen_range(draw..avail);
+                            let pick = *swapped.get(&r).unwrap_or(&r);
+                            let dv = *swapped.get(&draw).unwrap_or(&draw);
+                            swapped.insert(r, dv);
+                            out.src_nodes.push(nbrs[pick]);
+                            out.src_times.push(etimes[pick]);
+                            out.eids.push(eids[pick]);
+                            out.dst_index.push(dst);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgl_graph::TemporalGraph;
+
+    /// Star graph: node 0 connected to nodes 1..=5 at times 1..=5.
+    fn star() -> TemporalGraph {
+        TemporalGraph::from_edges(
+            6,
+            (1..=5u32).map(|i| (0, i, i as Time)).collect(),
+        )
+    }
+
+    #[test]
+    fn recent_takes_latest_k() {
+        let g = star();
+        let s = TemporalSampler::new(3, SamplingStrategy::Recent).sample(&g.tcsr(), &[0], &[10.0]);
+        assert_eq!(s.src_nodes, vec![3, 4, 5]);
+        assert_eq!(s.src_times, vec![3.0, 4.0, 5.0]);
+        assert_eq!(s.dst_index, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn temporal_constraint_strictly_before() {
+        let g = star();
+        let s = TemporalSampler::new(10, SamplingStrategy::Recent).sample(&g.tcsr(), &[0], &[3.0]);
+        // Only edges at t=1,2 qualify (t=3 excluded).
+        assert_eq!(s.src_times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn no_earlier_edges_empty() {
+        let g = star();
+        let s = TemporalSampler::new(5, SamplingStrategy::Recent).sample(&g.tcsr(), &[0], &[1.0]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all() {
+        let g = star();
+        let s = TemporalSampler::new(10, SamplingStrategy::Recent).sample(&g.tcsr(), &[0], &[10.0]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn multiple_destinations_grouped_in_order() {
+        let g = star();
+        let s = TemporalSampler::new(2, SamplingStrategy::Recent)
+            .sample(&g.tcsr(), &[1, 0, 2], &[10.0, 10.0, 10.0]);
+        // node 1 has one neighbor (0@1), node 0 two most recent, node 2 one.
+        assert_eq!(s.dst_index, vec![0, 1, 1, 2]);
+        assert_eq!(s.src_nodes, vec![0, 4, 5, 0]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_valid() {
+        let g = star();
+        let sampler = TemporalSampler::new(3, SamplingStrategy::Uniform).with_seed(7);
+        let a = sampler.sample(&g.tcsr(), &[0], &[10.0]);
+        let b = sampler.sample(&g.tcsr(), &[0], &[10.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Without replacement: all eids distinct.
+        let mut eids = a.eids.clone();
+        eids.sort_unstable();
+        eids.dedup();
+        assert_eq!(eids.len(), 3);
+        // Temporal constraint holds.
+        assert!(a.src_times.iter().all(|&t| t < 10.0));
+    }
+
+    #[test]
+    fn uniform_covers_all_when_k_exceeds_degree() {
+        let g = star();
+        let s = TemporalSampler::new(9, SamplingStrategy::Uniform).sample(&g.tcsr(), &[0], &[10.0]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = star();
+        let dsts: Vec<NodeId> = (0..6).cycle().take(100).collect();
+        let times: Vec<Time> = (0..100).map(|i| 1.0 + (i % 7) as Time).collect();
+        let seq = TemporalSampler::new(2, SamplingStrategy::Recent)
+            .with_threads(1)
+            .sample(&g.tcsr(), &dsts, &times);
+        let par = TemporalSampler::new(2, SamplingStrategy::Recent)
+            .with_threads(4)
+            .sample(&g.tcsr(), &dsts, &times);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_query_empty_result() {
+        let g = star();
+        let s = TemporalSampler::new(2, SamplingStrategy::Recent).sample(&g.tcsr(), &[], &[]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn window_restricts_to_recent_edges() {
+        let g = star();
+        let s = TemporalSampler::new(10, SamplingStrategy::Recent)
+            .with_window(2.5)
+            .sample(&g.tcsr(), &[0], &[6.0]);
+        // Edges at t=1..=5 exist; window 2.5 before t=6 keeps t in [3.5, 6).
+        assert_eq!(s.src_times, vec![4.0, 5.0]);
+        // Without the window all five qualify.
+        let all = TemporalSampler::new(10, SamplingStrategy::Recent)
+            .sample(&g.tcsr(), &[0], &[6.0]);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn window_applies_to_uniform_too() {
+        let g = star();
+        let s = TemporalSampler::new(2, SamplingStrategy::Uniform)
+            .with_window(2.5)
+            .with_seed(3)
+            .sample(&g.tcsr(), &[0], &[6.0]);
+        assert!(s.src_times.iter().all(|&t| (3.5..6.0).contains(&t)));
+    }
+
+    #[test]
+    fn dst_index_is_nondecreasing() {
+        let g = star();
+        let dsts: Vec<NodeId> = vec![0, 5, 3, 0];
+        let s = TemporalSampler::new(3, SamplingStrategy::Recent)
+            .sample(&g.tcsr(), &dsts, &[9.0, 9.0, 9.0, 2.0]);
+        assert!(s.dst_index.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,206 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The graph is a DAG of [`Node`]s built append-only during the forward
+//! pass: every op result that requires gradient carries a node holding
+//! its input tensors and a backward closure. Because tensor ids increase
+//! monotonically with creation, visiting pending tensors in decreasing
+//! id order is a valid reverse-topological order, so backward is a
+//! simple priority sweep with gradient accumulation.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+use crate::tensor::Tensor;
+
+/// A backward-graph node: the op's inputs plus a closure mapping the
+/// output gradient to per-input gradients.
+pub(crate) struct Node {
+    pub(crate) inputs: Vec<Tensor>,
+    #[allow(clippy::type_complexity)]
+    pub(crate) backward: Box<dyn Fn(&[f32]) -> Vec<Option<Vec<f32>>> + Send + Sync>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node(inputs={})", self.inputs.len())
+    }
+}
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether ops created on this thread currently record backward nodes.
+pub(crate) fn grad_enabled() -> bool {
+    GRAD_ENABLED.with(|c| c.get())
+}
+
+/// RAII guard that disables gradient tracking on the current thread for
+/// its lifetime. Obtained from [`no_grad`].
+#[derive(Debug)]
+pub struct NoGradGuard {
+    prev: bool,
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        GRAD_ENABLED.with(|c| c.set(self.prev));
+    }
+}
+
+/// Disables gradient tracking until the returned guard is dropped.
+///
+/// Used for inference passes where building the backward graph would
+/// waste time and memory.
+///
+/// # Examples
+///
+/// ```
+/// use tgl_tensor::{no_grad, Tensor};
+///
+/// let x = Tensor::ones([2]).requires_grad(true);
+/// let y = {
+///     let _guard = no_grad();
+///     x.mul(&x)
+/// };
+/// assert!(!y.requires_grad_flag());
+/// ```
+pub fn no_grad() -> NoGradGuard {
+    let prev = GRAD_ENABLED.with(|c| c.replace(false));
+    NoGradGuard { prev }
+}
+
+impl Tensor {
+    /// Runs backpropagation from a scalar tensor, accumulating gradients
+    /// into every reachable leaf with `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a single element.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.numel(),
+            1,
+            "backward() requires a scalar; use backward_with for non-scalars"
+        );
+        self.backward_with(vec![1.0]);
+    }
+
+    /// Runs backpropagation seeding this tensor's gradient with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != numel()`.
+    pub fn backward_with(&self, seed: Vec<f32>) {
+        assert_eq!(seed.len(), self.numel(), "seed gradient length mismatch");
+        // Pending gradients keyed by tensor id; BTreeMap lets us pop the
+        // largest id, i.e. the most recently created tensor, which is a
+        // valid reverse-topological order for an append-only DAG.
+        let mut pending: BTreeMap<u64, (Tensor, Vec<f32>)> = BTreeMap::new();
+        pending.insert(self.id(), (self.clone(), seed));
+
+        while let Some((_, (tensor, grad))) = pending.pop_last() {
+            match &tensor.inner.grad_fn {
+                Some(node) => {
+                    let input_grads = (node.backward)(&grad);
+                    assert_eq!(
+                        input_grads.len(),
+                        node.inputs.len(),
+                        "backward closure returned wrong number of gradients"
+                    );
+                    for (input, g) in node.inputs.iter().zip(input_grads) {
+                        let Some(g) = g else { continue };
+                        if !input.inner.requires_grad {
+                            continue;
+                        }
+                        assert_eq!(
+                            g.len(),
+                            input.numel(),
+                            "gradient shape mismatch for input {}",
+                            input.shape()
+                        );
+                        pending
+                            .entry(input.id())
+                            .and_modify(|(_, acc)| {
+                                for (a, b) in acc.iter_mut().zip(&g) {
+                                    *a += b;
+                                }
+                            })
+                            .or_insert_with(|| (input.clone(), g));
+                    }
+                }
+                None => {
+                    if tensor.inner.requires_grad {
+                        tensor.accumulate_grad(&grad);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_grad_guard_restores() {
+        assert!(grad_enabled());
+        {
+            let _g = no_grad();
+            assert!(!grad_enabled());
+            {
+                let _g2 = no_grad();
+                assert!(!grad_enabled());
+            }
+            assert!(!grad_enabled());
+        }
+        assert!(grad_enabled());
+    }
+
+    #[test]
+    fn backward_through_shared_input_accumulates() {
+        // y = x + x  =>  dy/dx = 2
+        let x = Tensor::from_vec(vec![3.0], [1]).requires_grad(true);
+        let y = x.add(&x);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn backward_diamond_graph() {
+        // z = (x*x) + (x*2); dz/dx = 2x + 2 = 8 at x=3
+        let x = Tensor::from_vec(vec![3.0], [1]).requires_grad(true);
+        let a = x.mul(&x);
+        let b = x.mul_scalar(2.0);
+        let z = a.add(&b);
+        z.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![8.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad(true);
+        let y = x.mul_scalar(3.0);
+        y.sum_all().backward();
+        let y2 = x.mul_scalar(3.0);
+        y2.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![6.0]);
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn no_grad_skips_graph() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad(true);
+        let _g = no_grad();
+        let y = x.mul_scalar(2.0);
+        assert!(!y.requires_grad_flag());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scalar")]
+    fn backward_non_scalar_panics() {
+        Tensor::zeros([2]).requires_grad(true).backward();
+    }
+}

@@ -1,0 +1,61 @@
+//! Parameter initialization schemes.
+
+use rand::Rng;
+
+use crate::{Shape, Tensor};
+
+/// Xavier/Glorot uniform init: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Standard for linear layers.
+pub fn xavier_uniform(fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform([fan_out, fan_in], -a, a, rng).requires_grad(true)
+}
+
+/// Kaiming/He uniform init for ReLU networks: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform([fan_out, fan_in], -a, a, rng).requires_grad(true)
+}
+
+/// Uniform init over an arbitrary shape.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::rand_uniform(shape, lo, hi, rng).requires_grad(true)
+}
+
+/// Zero init (e.g. biases).
+pub fn zeros_init(shape: impl Into<Shape>) -> Tensor {
+    Tensor::zeros(shape).requires_grad(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(w.to_vec().iter().all(|v| v.abs() <= a));
+        assert!(w.requires_grad_flag());
+        assert_eq!(w.dims(), &[10, 20]);
+    }
+
+    #[test]
+    fn kaiming_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kaiming_uniform(4, 6, &mut rng);
+        let a = 1.0f32;
+        assert!(w.to_vec().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn zeros_init_requires_grad() {
+        let b = zeros_init([5]);
+        assert!(b.requires_grad_flag());
+        assert_eq!(b.to_vec(), vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Inverted dropout.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference
+/// (identity) needs no rescaling. The paper's models default to
+/// dropout 0.1 in TGL's configs.
+///
+/// The mask RNG is owned and seeded, so training runs remain
+/// reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: Mutex<StdRng>,
+}
+
+impl Dropout {
+    /// Creates dropout with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            training: true,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Switches train/eval mode (eval = identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Applies dropout. Differentiable: the gradient uses the same
+    /// mask.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = {
+            let mut rng = self.rng.lock();
+            (0..x.numel())
+                .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+                .collect()
+        };
+        let mask_t = Tensor::from_vec_on(mask, x.shape().clone(), x.device());
+        x.mul(&mask_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(d.forward(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn p_zero_is_identity() {
+        let d = Dropout::new(0.0, 0);
+        let x = Tensor::ones([4]);
+        assert_eq!(d.forward(&x).to_vec(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn training_zeroes_and_scales() {
+        let d = Dropout::new(0.5, 7);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x).to_vec();
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        let kept = y.iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 10_000, "values must be 0 or 1/keep");
+        assert!((4_000..6_000).contains(&zeros), "drop rate off: {zeros}");
+        // Expectation preserved.
+        let mean: f32 = y.iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gradient_respects_mask() {
+        let d = Dropout::new(0.5, 1);
+        let x = Tensor::ones([100]).requires_grad(true);
+        let y = d.forward(&x);
+        let out = y.to_vec();
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        for (gi, yi) in g.iter().zip(&out) {
+            assert_eq!(*gi, *yi, "grad must equal mask scale");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn invalid_p_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

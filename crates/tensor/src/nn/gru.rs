@@ -1,0 +1,165 @@
+//! Gated recurrent unit cell (TGN's node-memory update function).
+
+use rand::Rng;
+
+use crate::init::{xavier_uniform, zeros_init};
+use crate::nn::Module;
+use crate::ops::cat;
+use crate::Tensor;
+
+/// A GRU cell: `h' = GRUCell(x, h)`.
+///
+/// Follows the standard formulation:
+/// `r = σ(W_ir x + b_ir + W_hr h + b_hr)`,
+/// `z = σ(W_iz x + b_iz + W_hz h + b_hz)`,
+/// `n = tanh(W_in x + b_in + r ⊙ (W_hn h + b_hn))`,
+/// `h' = (1 − z) ⊙ n + z ⊙ h`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    // Stacked [3*hidden, in] and [3*hidden, hidden] weights (r, z, n).
+    w_ih: Tensor,
+    w_hh: Tensor,
+    b_ih: Tensor,
+    b_hh: Tensor,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Creates a cell mapping `input_size` inputs to `hidden_size`
+    /// state.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> GruCell {
+        GruCell {
+            w_ih: xavier_uniform(3 * hidden_size, input_size, rng),
+            w_hh: xavier_uniform(3 * hidden_size, hidden_size, rng),
+            b_ih: zeros_init([3 * hidden_size]),
+            b_hh: zeros_init([3 * hidden_size]),
+            hidden: hidden_size,
+        }
+    }
+
+    /// Computes the next hidden state for a batch:
+    /// `x: [N, input]`, `h: [N, hidden]` → `[N, hidden]`.
+    pub fn forward(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let n_rows = x.dim(0);
+        assert_eq!(h.dims(), &[n_rows, self.hidden], "hidden state shape mismatch");
+        let gi = x.matmul(&self.w_ih.transpose()).add(&self.b_ih); // [N, 3H]
+        let gh = h.matmul(&self.w_hh.transpose()).add(&self.b_hh); // [N, 3H]
+        let hsz = self.hidden;
+        let split = |t: &Tensor, k: usize| -> Tensor {
+            // Column slice [N, 3H] -> [N, H] for gate k: viewing each
+            // 3H row as 3 consecutive H rows, gate k of row r is
+            // sub-row r*3 + k.
+            t.reshape([n_rows * 3, hsz])
+                .index_select(
+                    &(0..n_rows)
+                        .map(|r| r * 3 + k)
+                        .collect::<Vec<_>>(),
+                )
+                .reshape([n_rows, hsz])
+        };
+        let (i_r, i_z, i_n) = (split(&gi, 0), split(&gi, 1), split(&gi, 2));
+        let (h_r, h_z, h_n) = (split(&gh, 0), split(&gh, 1), split(&gh, 2));
+        let r = i_r.add(&h_r).sigmoid();
+        let z = i_z.add(&h_z).sigmoid();
+        let n = i_n.add(&r.mul(&h_n)).tanh();
+        // h' = (1 - z) * n + z * h
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(&n).add(&z.mul(h))
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Returns a copy of this cell with parameters on `device`.
+    pub fn to_device(&self, device: tgl_device::Device) -> GruCell {
+        GruCell {
+            w_ih: self.w_ih.to(device).requires_grad(true),
+            w_hh: self.w_hh.to(device).requires_grad(true),
+            b_ih: self.b_ih.to(device).requires_grad(true),
+            b_hh: self.b_hh.to(device).requires_grad(true),
+            hidden: self.hidden,
+        }
+    }
+}
+
+impl Module for GruCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w_ih.clone(),
+            self.w_hh.clone(),
+            self.b_ih.clone(),
+            self.b_hh.clone(),
+        ]
+    }
+}
+
+/// Convenience: concatenates inputs then applies the cell (the paper's
+/// TGN concatenates mail and time features before its GRU).
+pub fn gru_forward_cat(cell: &GruCell, parts: &[Tensor], h: &Tensor) -> Tensor {
+    cell.forward(&cat(parts, 1), h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(3, 4, &mut rng);
+        let x = Tensor::randn([5, 3], &mut rng);
+        let h = Tensor::zeros([5, 4]);
+        let h2 = cell.forward(&x, &h);
+        assert_eq!(h2.dims(), &[5, 4]);
+        // GRU output is a convex combination of tanh(...) and h, so
+        // bounded by (-1, 1) when h is zero.
+        assert!(h2.to_vec().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(2, 2, &mut rng);
+        let h = cell.forward(&Tensor::zeros([1, 2]), &Tensor::zeros([1, 2]));
+        assert!(h.to_vec().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = GruCell::new(2, 3, &mut rng);
+        let x = Tensor::randn([4, 2], &mut rng);
+        let h = Tensor::randn([4, 3], &mut rng);
+        cell.forward(&x, &h).sum_all().backward();
+        for p in cell.parameters() {
+            assert!(p.grad().is_some(), "missing grad");
+        }
+    }
+
+    #[test]
+    fn state_carries_information() {
+        // Different initial states must give different outputs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = GruCell::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let a = cell.forward(&x, &Tensor::zeros([1, 2])).to_vec();
+        let b = cell.forward(&x, &Tensor::ones([1, 2])).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gru_forward_cat_matches_manual_cat() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = GruCell::new(4, 2, &mut rng);
+        let a = Tensor::randn([2, 3], &mut rng);
+        let b = Tensor::randn([2, 1], &mut rng);
+        let h = Tensor::zeros([2, 2]);
+        let via_helper = gru_forward_cat(&cell, &[a.clone(), b.clone()], &h);
+        let manual = cell.forward(&cat(&[a, b], 1), &h);
+        assert_eq!(via_helper.to_vec(), manual.to_vec());
+    }
+}

@@ -1,0 +1,129 @@
+//! Fully-connected affine layer.
+
+use rand::Rng;
+
+use crate::init::{xavier_uniform, zeros_init};
+use crate::nn::Module;
+use crate::Tensor;
+
+/// `y = x · Wᵀ + b` with `W: [out, in]`, `b: [out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weight and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Linear {
+        Linear {
+            weight: xavier_uniform(out_features, in_features, rng),
+            bias: Some(zeros_init([out_features])),
+        }
+    }
+
+    /// Creates a layer without a bias term.
+    pub fn new_no_bias(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Linear {
+        Linear {
+            weight: xavier_uniform(out_features, in_features, rng),
+            bias: None,
+        }
+    }
+
+    /// Applies the layer to `x: [N, in]`, producing `[N, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-2 with `in` columns.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.weight.transpose());
+        match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dim(1)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dim(0)
+    }
+
+    /// The weight tensor (`[out, in]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Returns a copy of this layer with parameters on `device`
+    /// (a one-time metered transfer; the new parameters are fresh
+    /// trainable leaves).
+    pub fn to_device(&self, device: tgl_device::Device) -> Linear {
+        Linear {
+            weight: self.weight.to(device).requires_grad(true),
+            bias: self.bias.as_ref().map(|b| b.to(device).requires_grad(true)),
+        }
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(4, 3, &mut rng);
+        let x = Tensor::zeros([5, 4]);
+        let y = lin.forward(&x);
+        assert_eq!(y.dims(), &[5, 3]);
+        // zero input + zero bias = zero output
+        assert_eq!(y.to_vec(), vec![0.0; 15]);
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(2, 1, &mut rng);
+        lin.weight.copy_from_slice(&[2.0, 3.0]);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 0.5, 2.0], [2, 2]);
+        let y = lin.forward(&x);
+        assert_eq!(y.to_vec(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn gradient_reaches_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones([3, 2]);
+        lin.forward(&x).sum_all().backward();
+        for p in lin.parameters() {
+            let g = p.grad().expect("param should have grad");
+            assert!(g.iter().any(|v| *v != 0.0), "grad all zero for {p:?}");
+        }
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new_no_bias(3, 2, &mut rng);
+        assert_eq!(lin.parameters().len(), 1);
+        assert_eq!(lin.in_features(), 3);
+        assert_eq!(lin.out_features(), 2);
+    }
+}

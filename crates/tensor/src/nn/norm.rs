@@ -1,0 +1,110 @@
+//! Layer normalization.
+
+use crate::nn::Module;
+use crate::Tensor;
+
+/// Layer normalization over the last dimension with learnable scale
+/// and shift (used by transformer-style TGNN variants).
+///
+/// `y = (x − μ) / √(σ² + ε) · γ + β`, per row.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim`-wide rows (γ=1, β=0).
+    pub fn new(dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Tensor::ones([dim]).requires_grad(true),
+            beta: Tensor::zeros([dim]).requires_grad(true),
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    /// Moves parameters to `device`.
+    pub fn to_device(&self, device: tgl_device::Device) -> LayerNorm {
+        LayerNorm {
+            gamma: self.gamma.to(device).requires_grad(true),
+            beta: self.beta.to(device).requires_grad(true),
+            eps: self.eps,
+            dim: self.dim,
+        }
+    }
+
+    /// Normalizes `x: [N, dim]` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last dimension is not `dim`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.dim(x.rank() - 1),
+            self.dim,
+            "layer-norm width mismatch"
+        );
+        let n = x.dim(0);
+        let mean = x.mean_dim(1).reshape([n, 1]);
+        let centered = x.sub(&mean);
+        let var = centered.mul(&centered).mean_dim(1).reshape([n, 1]);
+        let normed = centered.div(&var.add_scalar(self.eps).sqrt());
+        normed.mul(&self.gamma).add(&self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_standardized() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]);
+        let y = ln.forward(&x);
+        let v = y.to_vec();
+        for row in v.chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row var {var}");
+        }
+    }
+
+    #[test]
+    fn scale_shift_applied() {
+        let ln = LayerNorm::new(2);
+        ln.gamma.copy_from_slice(&[2.0, 2.0]);
+        ln.beta.copy_from_slice(&[5.0, 5.0]);
+        let y = ln.forward(&Tensor::from_vec(vec![-1.0, 1.0], [1, 2]));
+        let v = y.to_vec();
+        assert!((v[0] - (5.0 - 2.0)).abs() < 1e-2, "{v:?}");
+        assert!((v[1] - (5.0 + 2.0)).abs() < 1e-2, "{v:?}");
+    }
+
+    #[test]
+    fn grads_reach_gamma_beta() {
+        let ln = LayerNorm::new(3);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let x = Tensor::randn([4, 3], &mut rng).requires_grad(true);
+        ln.forward(&x).sum_all().backward();
+        assert!(ln.gamma.grad().is_some());
+        assert!(ln.beta.grad().is_some());
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        LayerNorm::new(3).forward(&Tensor::zeros([2, 4]));
+    }
+}

@@ -1,0 +1,231 @@
+//! Matrix multiplication (2-D and batched).
+
+use crate::ops::same_device;
+use crate::Tensor;
+
+/// C[m,n] += A[m,k] * B[k,n]
+pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    // i-k-j loop order keeps the inner loop streaming over contiguous
+    // rows of B and C.
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
+pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        for j in 0..k {
+            let b_row = &b[j * n..(j + 1) * n];
+            // 4-way partial sums so the reduction can vectorize.
+            let mut acc = [0.0f32; 4];
+            let chunks = n / 4;
+            for q in 0..chunks {
+                let p = q * 4;
+                acc[0] += a_row[p] * b_row[p];
+                acc[1] += a_row[p + 1] * b_row[p + 1];
+                acc[2] += a_row[p + 2] * b_row[p + 2];
+                acc[3] += a_row[p + 3] * b_row[p + 3];
+            }
+            let mut tail = 0.0f32;
+            for p in chunks * 4..n {
+                tail += a_row[p] * b_row[p];
+            }
+            c[i * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+        }
+    }
+}
+
+/// C[k,n] += A[m,k]^T * B[m,n]  (i.e. Aᵀ · B)
+pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D matrix product `self[m,k] @ other[k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner
+    /// dimensions on the same device.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let device = same_device(self, other);
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2, got {}", self.shape());
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2, got {}", other.shape());
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", self.shape(), other.shape());
+
+        let mut c = vec![0.0f32; m * n];
+        {
+            let a = self.inner.storage.read();
+            let b = other.inner.storage.read();
+            mm_nn(&a, &b, &mut c, m, k, n);
+        }
+
+        let (a_t, b_t) = (self.clone(), other.clone());
+        Tensor::make_result(c, [m, n], device, &[self.clone(), other.clone()], move |go| {
+            let a = a_t.inner.storage.read();
+            let b = b_t.inner.storage.read();
+            // dA = dC · Bᵀ ; dB = Aᵀ · dC
+            let mut ga = vec![0.0f32; m * k];
+            mm_nt(go, &b, &mut ga, m, n, k);
+            let mut gb = vec![0.0f32; k * n];
+            mm_tn(&a, go, &mut gb, m, k, n);
+            vec![Some(ga), Some(gb)]
+        })
+    }
+
+    /// Batched matrix product `self[b,m,k] @ other[b,k,n] -> [b,m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-3 with matching batch and
+    /// inner dimensions on the same device.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        let device = same_device(self, other);
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank-3, got {}", self.shape());
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank-3, got {}", other.shape());
+        let (bs, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (bs2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(bs, bs2, "bmm batch dims differ");
+        assert_eq!(k, k2, "bmm inner dims differ");
+
+        let mut c = vec![0.0f32; bs * m * n];
+        {
+        let a = self.inner.storage.read();
+        let b = other.inner.storage.read();
+        for i in 0..bs {
+            mm_nn(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut c[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        }
+
+        let (a_t, b_t) = (self.clone(), other.clone());
+        Tensor::make_result(
+            c,
+            [bs, m, n],
+            device,
+            &[self.clone(), other.clone()],
+            move |go| {
+                let a = a_t.inner.storage.read();
+                let b = b_t.inner.storage.read();
+                let mut ga = vec![0.0f32; bs * m * k];
+                let mut gb = vec![0.0f32; bs * k * n];
+                for i in 0..bs {
+                    mm_nt(
+                        &go[i * m * n..(i + 1) * m * n],
+                        &b[i * k * n..(i + 1) * k * n],
+                        &mut ga[i * m * k..(i + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                    mm_tn(
+                        &a[i * m * k..(i + 1) * m * k],
+                        &go[i * m * n..(i + 1) * m * n],
+                        &mut gb[i * k * n..(i + 1) * k * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                vec![Some(ga), Some(gb)]
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1,3] x [3,2]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], [3, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2.0, -1.0, 0.5, 3.0], [2, 2]);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(a.matmul(&i).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_dim_mismatch_panics() {
+        Tensor::zeros([2, 3]).matmul(&Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn matmul_gradcheck_lhs() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]).requires_grad(true);
+        let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.5], [3, 2]);
+        check_gradient(&a, |t| t.matmul(&b).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn matmul_gradcheck_rhs() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.5], [3, 2]).requires_grad(true);
+        check_gradient(&b, |t| a.matmul(t).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), [2, 2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), [2, 3, 2]);
+        let out = a.bmm(&b);
+        let a0 = Tensor::from_vec(a.to_vec()[..6].to_vec(), [2, 3]);
+        let b0 = Tensor::from_vec(b.to_vec()[..6].to_vec(), [3, 2]);
+        assert_close(&out.to_vec()[..4], &a0.matmul(&b0).to_vec(), 1e-5);
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], [1, 2, 2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], [1, 2, 2]);
+        check_gradient(&a, |t| t.bmm(&b).sum_all(), 1e-2);
+    }
+}

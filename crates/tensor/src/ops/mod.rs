@@ -1,0 +1,33 @@
+//! Tensor operators.
+//!
+//! All operators are differentiable unless documented otherwise; each
+//! builds a backward node when gradient tracking is active. Kernels run
+//! on the CPU regardless of the tensor's device tag (the simulated
+//! accelerator shares the host's compute; see `tgl-device`).
+
+mod binary;
+mod index;
+mod matmul;
+mod reduce;
+pub mod segment;
+mod shape_ops;
+mod softmax;
+mod unary;
+
+pub use index::{cat, stack};
+pub use segment::{segment_max, segment_mean, segment_softmax, segment_sum};
+
+use crate::Tensor;
+use tgl_device::Device;
+
+/// Asserts that two op operands live on the same device and returns it.
+pub(crate) fn same_device(a: &Tensor, b: &Tensor) -> Device {
+    assert_eq!(
+        a.device(),
+        b.device(),
+        "operands must be on the same device ({} vs {})",
+        a.device(),
+        b.device()
+    );
+    a.device()
+}

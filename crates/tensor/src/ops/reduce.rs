@@ -1,0 +1,222 @@
+//! Reduction operators (sum / mean / max, full or per-dimension).
+
+use crate::shape::Shape;
+use crate::Tensor;
+
+impl Tensor {
+    /// Sums all elements into a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        let total: f32 = self.inner.storage.read().iter().sum();
+        let n = self.numel();
+        let shape = self.shape().clone();
+        Tensor::make_result(
+            vec![total],
+            Shape::scalar(),
+            self.device(),
+            &[self.clone()],
+            move |go| {
+                let _ = &shape;
+                vec![Some(vec![go[0]; n])]
+            },
+        )
+    }
+
+    /// Means all elements into a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.numel() as f32;
+        self.sum_all().mul_scalar(1.0 / n)
+    }
+
+    /// Sums along dimension `dim`, removing it from the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn sum_dim(&self, dim: usize) -> Tensor {
+        self.reduce_dim(dim, ReduceKind::Sum)
+    }
+
+    /// Means along dimension `dim`, removing it from the shape.
+    pub fn mean_dim(&self, dim: usize) -> Tensor {
+        let d = self.dim(dim) as f32;
+        self.sum_dim(dim).mul_scalar(1.0 / d)
+    }
+
+    /// Max along dimension `dim`, removing it. Gradient routes to the
+    /// (first) argmax.
+    pub fn max_dim(&self, dim: usize) -> Tensor {
+        self.reduce_dim(dim, ReduceKind::Max)
+    }
+
+    /// Index of the maximum along the last dimension, per row
+    /// (non-differentiable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors or an empty last dimension.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        assert!(self.rank() >= 1, "argmax needs rank >= 1");
+        let cols = self.dim(self.rank() - 1);
+        assert!(cols > 0, "argmax over empty dimension");
+        let rows = self.numel() / cols;
+        self.with_data(|data| {
+            (0..rows)
+                .map(|r| {
+                    let row = &data[r * cols..(r + 1) * cols];
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(i, _)| i)
+                        .expect("nonempty row")
+                })
+                .collect()
+        })
+    }
+
+    fn reduce_dim(&self, dim: usize, kind: ReduceKind) -> Tensor {
+        assert!(dim < self.rank(), "reduce dim {dim} out of range for {}", self.shape());
+        let dims = self.dims();
+        let outer: usize = dims[..dim].iter().product();
+        let mid = dims[dim];
+        let inner: usize = dims[dim + 1..].iter().product();
+        let data = self.inner.storage.read();
+        let out_shape = self.shape().without_dim(dim);
+        let mut out = vec![
+            match kind {
+                ReduceKind::Sum => 0.0,
+                ReduceKind::Max => f32::NEG_INFINITY,
+            };
+            outer * inner
+        ];
+        let mut argmax = match kind {
+            ReduceKind::Max => vec![0usize; outer * inner],
+            ReduceKind::Sum => Vec::new(),
+        };
+        for o in 0..outer {
+            for m in 0..mid {
+                for i in 0..inner {
+                    let src = (o * mid + m) * inner + i;
+                    let dst = o * inner + i;
+                    match kind {
+                        ReduceKind::Sum => out[dst] += data[src],
+                        ReduceKind::Max => {
+                            if data[src] > out[dst] {
+                                out[dst] = data[src];
+                                argmax[dst] = m;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(data);
+        let n = self.numel();
+        Tensor::make_result(
+            out,
+            out_shape,
+            self.device(),
+            &[self.clone()],
+            move |go| {
+                let mut g = vec![0.0f32; n];
+                for o in 0..outer {
+                    for m in 0..mid {
+                        for i in 0..inner {
+                            let src = (o * mid + m) * inner + i;
+                            let dst = o * inner + i;
+                            match kind {
+                                ReduceKind::Sum => g[src] = go[dst],
+                                ReduceKind::Max => {
+                                    if argmax[dst] == m {
+                                        g[src] = go[dst];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![Some(g)]
+            },
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReduceKind {
+    Sum,
+    Max,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn sum_all_scalar() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(t.sum_all().item(), 6.0);
+        assert_eq!(t.sum_all().rank(), 0);
+    }
+
+    #[test]
+    fn mean_all() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 6.0], [2, 2]);
+        assert_eq!(t.mean_all().item(), 3.0);
+    }
+
+    #[test]
+    fn sum_dim_rows_and_cols() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.sum_dim(0).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_dim(0).dims(), &[3]);
+        assert_eq!(t.sum_dim(1).to_vec(), vec![6.0, 15.0]);
+        assert_eq!(t.sum_dim(1).dims(), &[2]);
+    }
+
+    #[test]
+    fn mean_dim() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [2, 2]);
+        assert_eq!(t.mean_dim(1).to_vec(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn max_dim_values_and_grad() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], [2, 2]).requires_grad(true);
+        let m = t.max_dim(1);
+        assert_eq!(m.to_vec(), vec![5.0, 3.0]);
+        m.sum_all().backward();
+        assert_eq!(t.grad().unwrap(), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_dim_middle_of_rank3() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), [2, 3, 4]);
+        let s = t.sum_dim(1);
+        assert_eq!(s.dims(), &[2, 4]);
+        // out[0,0] = t[0,0,0] + t[0,1,0] + t[0,2,0] = 0 + 4 + 8
+        assert_eq!(s.to_vec()[0], 12.0);
+    }
+
+    #[test]
+    fn argmax_last_per_row() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0, 9.0, 2.0, 1.0], [2, 3]);
+        assert_eq!(t.argmax_last(), vec![1, 0]);
+        let v = Tensor::from_vec(vec![0.5, 0.9], [2]);
+        assert_eq!(v.argmax_last(), vec![1]);
+    }
+
+    #[test]
+    fn sum_gradchecks() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]).requires_grad(true);
+        check_gradient(&x, |t| t.sum_dim(0).mul_scalar(2.0).sum_all(), 1e-2);
+        check_gradient(&x, |t| t.mean_dim(1).sum_all(), 1e-2);
+        check_gradient(&x, |t| t.mean_all(), 1e-2);
+    }
+
+    #[test]
+    fn sum_all_grad_is_ones() {
+        let x = Tensor::from_vec(vec![5.0, -2.0], [2]).requires_grad(true);
+        x.sum_all().backward();
+        assert_close(&x.grad().unwrap(), &[1.0, 1.0], 0.0);
+    }
+}

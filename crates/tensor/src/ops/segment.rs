@@ -1,0 +1,303 @@
+//! Segmented (per-group) operators.
+//!
+//! These are the kernels underneath TGLite's edge-wise block operators:
+//! `edge_softmax` is a segmented softmax grouped by destination node,
+//! `edge_reduce` is a segmented reduction, and `src_scatter` uses
+//! segmented mean. Inputs are `[N, D]` row tensors plus a per-row
+//! segment id; segment ids need not be sorted.
+
+use crate::Tensor;
+
+fn check_segments(values: &Tensor, segments: &[usize], num_segments: usize) -> (usize, usize) {
+    assert!(values.rank() >= 1, "segment ops need rank >= 1 values");
+    let n = values.dim(0);
+    assert_eq!(
+        segments.len(),
+        n,
+        "segment ids ({}) must match rows ({n})",
+        segments.len()
+    );
+    for &s in segments {
+        assert!(
+            s < num_segments,
+            "segment id {s} out of range ({num_segments} segments)"
+        );
+    }
+    let d: usize = values.dims()[1..].iter().product();
+    (n, d)
+}
+
+/// Sums rows of `values` into `num_segments` buckets:
+/// `out[s] = Σ_{i: segments[i]==s} values[i]`.
+///
+/// Empty segments produce zero rows. Differentiable.
+///
+/// # Panics
+///
+/// Panics if `segments.len() != values.dim(0)` or any id is out of
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use tgl_tensor::{ops::segment_sum, Tensor};
+///
+/// let v = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3, 1]);
+/// let s = segment_sum(&v, &[0, 1, 0], 2);
+/// assert_eq!(s.to_vec(), vec![4.0, 2.0]);
+/// ```
+pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
+    let (n, d) = check_segments(values, segments, num_segments);
+    let mut out = vec![0.0f32; num_segments * d];
+    {
+        let x = values.inner.storage.read();
+        for (i, &s) in segments.iter().enumerate() {
+            for j in 0..d {
+                out[s * d + j] += x[i * d + j];
+            }
+        }
+    }
+    let mut out_dims = values.dims().to_vec();
+    out_dims[0] = num_segments;
+    let seg = segments.to_vec();
+    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+        let mut g = vec![0.0f32; n * d];
+        for (i, &s) in seg.iter().enumerate() {
+            for j in 0..d {
+                g[i * d + j] = go[s * d + j];
+            }
+        }
+        vec![Some(g)]
+    })
+}
+
+/// Averages rows of `values` per segment. Empty segments yield zeros.
+pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
+    let (n, d) = check_segments(values, segments, num_segments);
+    let mut counts = vec![0.0f32; num_segments];
+    for &s in segments {
+        counts[s] += 1.0;
+    }
+    let mut out = vec![0.0f32; num_segments * d];
+    {
+        let x = values.inner.storage.read();
+        for (i, &s) in segments.iter().enumerate() {
+            for j in 0..d {
+                out[s * d + j] += x[i * d + j] / counts[s];
+            }
+        }
+    }
+    let mut out_dims = values.dims().to_vec();
+    out_dims[0] = num_segments;
+    let seg = segments.to_vec();
+    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+        let mut g = vec![0.0f32; n * d];
+        for (i, &s) in seg.iter().enumerate() {
+            for j in 0..d {
+                g[i * d + j] = go[s * d + j] / counts[s];
+            }
+        }
+        vec![Some(g)]
+    })
+}
+
+/// Per-segment max of rows. Empty segments yield zeros; gradient routes
+/// to the (first) argmax row per segment/column.
+pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
+    let (n, d) = check_segments(values, segments, num_segments);
+    let mut out = vec![f32::NEG_INFINITY; num_segments * d];
+    let mut argmax = vec![usize::MAX; num_segments * d];
+    {
+        let x = values.inner.storage.read();
+        for (i, &s) in segments.iter().enumerate() {
+            for j in 0..d {
+                if x[i * d + j] > out[s * d + j] {
+                    out[s * d + j] = x[i * d + j];
+                    argmax[s * d + j] = i;
+                }
+            }
+        }
+    }
+    for v in out.iter_mut() {
+        if !v.is_finite() {
+            *v = 0.0; // empty segment
+        }
+    }
+    let mut out_dims = values.dims().to_vec();
+    out_dims[0] = num_segments;
+    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+        let mut g = vec![0.0f32; n * d];
+        for (sd, &i) in argmax.iter().enumerate() {
+            if i != usize::MAX {
+                let j = sd % d;
+                g[i * d + j] = go[sd];
+            }
+        }
+        vec![Some(g)]
+    })
+}
+
+/// Segmented softmax: softmax across the rows of each segment,
+/// independently per column (column = attention head).
+///
+/// For single-column `[N, 1]` values with segments = destination ids,
+/// this is exactly TGLite's `edge_softmax`. Empty segments contribute
+/// nothing; rows keep their position.
+pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
+    let (n, d) = check_segments(values, segments, num_segments);
+    let x = values.inner.storage.read();
+    // Per (segment, column) max for stability.
+    let mut maxes = vec![f32::NEG_INFINITY; num_segments * d];
+    for (i, &s) in segments.iter().enumerate() {
+        for j in 0..d {
+            maxes[s * d + j] = maxes[s * d + j].max(x[i * d + j]);
+        }
+    }
+    let mut sums = vec![0.0f32; num_segments * d];
+    let mut y = vec![0.0f32; n * d];
+    for (i, &s) in segments.iter().enumerate() {
+        for j in 0..d {
+            let e = (x[i * d + j] - maxes[s * d + j]).exp();
+            y[i * d + j] = e;
+            sums[s * d + j] += e;
+        }
+    }
+    for (i, &s) in segments.iter().enumerate() {
+        for j in 0..d {
+            y[i * d + j] /= sums[s * d + j];
+        }
+    }
+    drop(x);
+    let y_copy = y.clone();
+    let seg = segments.to_vec();
+    Tensor::make_result(
+        y,
+        values.shape().clone(),
+        values.device(),
+        &[values.clone()],
+        move |go| {
+            // Per segment/column: dx_i = (go_i - Σ_k go_k y_k) * y_i
+            let mut dots = vec![0.0f32; num_segments * d];
+            for (i, &s) in seg.iter().enumerate() {
+                for j in 0..d {
+                    dots[s * d + j] += go[i * d + j] * y_copy[i * d + j];
+                }
+            }
+            let mut g = vec![0.0f32; n * d];
+            for (i, &s) in seg.iter().enumerate() {
+                for j in 0..d {
+                    g[i * d + j] = (go[i * d + j] - dots[s * d + j]) * y_copy[i * d + j];
+                }
+            }
+            vec![Some(g)]
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_close, check_gradient};
+
+    #[test]
+    fn segment_sum_values() {
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]);
+        let s = segment_sum(&v, &[1, 0, 1], 2);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.to_vec(), vec![3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn segment_sum_empty_segment_zero() {
+        let v = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
+        let s = segment_sum(&v, &[0, 0], 3);
+        assert_eq!(s.to_vec(), vec![3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_mean_values() {
+        let v = Tensor::from_vec(vec![2.0, 4.0, 6.0], [3, 1]);
+        let m = segment_mean(&v, &[0, 0, 1], 2);
+        assert_eq!(m.to_vec(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn segment_max_values_and_grad() {
+        let v = Tensor::from_vec(vec![1.0, 5.0, 3.0], [3, 1]).requires_grad(true);
+        let m = segment_max(&v, &[0, 0, 1], 2);
+        assert_eq!(m.to_vec(), vec![5.0, 3.0]);
+        m.sum_all().backward();
+        assert_eq!(v.grad().unwrap(), vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.5], [4, 1]);
+        let y = segment_softmax(&v, &[0, 0, 1, 1], 2).to_vec();
+        assert_close(&[y[0] + y[1]], &[1.0], 1e-6);
+        assert_close(&[y[2] + y[3]], &[1.0], 1e-6);
+        assert!(y[1] > y[0]);
+    }
+
+    #[test]
+    fn segment_softmax_single_row_segment_is_one() {
+        let v = Tensor::from_vec(vec![42.0], [1, 1]);
+        let y = segment_softmax(&v, &[0], 1);
+        assert_close(&y.to_vec(), &[1.0], 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_multihead_columns_independent() {
+        // Two columns should each softmax independently within segments.
+        let v = Tensor::from_vec(vec![0.0, 10.0, 0.0, 10.0], [2, 2]);
+        let y = segment_softmax(&v, &[0, 0], 1).to_vec();
+        assert_close(&[y[0] + y[2]], &[1.0], 1e-6);
+        assert_close(&[y[1] + y[3]], &[1.0], 1e-6);
+        assert_close(&[y[0], y[1]], &[0.5, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_matches_dense_softmax_single_segment() {
+        let v = Tensor::from_vec(vec![1.0, -1.0, 0.5], [3, 1]);
+        let seg = segment_softmax(&v, &[0, 0, 0], 1).to_vec();
+        let dense = Tensor::from_vec(vec![1.0, -1.0, 0.5], [3]).softmax_last().to_vec();
+        assert_close(&seg, &dense, 1e-6);
+    }
+
+    #[test]
+    fn segment_sum_gradcheck() {
+        let v = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], [4, 1]).requires_grad(true);
+        let w = Tensor::from_vec(vec![1.0, 3.0], [2, 1]);
+        check_gradient(&v, |x| segment_sum(x, &[1, 0, 1, 0], 2).mul(&w).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn segment_mean_gradcheck() {
+        let v = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3, 1]).requires_grad(true);
+        let w = Tensor::from_vec(vec![2.0, -1.0], [2, 1]);
+        check_gradient(&v, |x| segment_mean(x, &[0, 0, 1], 2).mul(&w).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn segment_softmax_gradcheck() {
+        let v = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], [4, 1]).requires_grad(true);
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 2.0], [4, 1]);
+        check_gradient(
+            &v,
+            |x| segment_softmax(x, &[0, 0, 1, 1], 2).mul(&w).sum_all(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_id_out_of_range_panics() {
+        segment_sum(&Tensor::zeros([2, 1]), &[0, 5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match rows")]
+    fn segment_len_mismatch_panics() {
+        segment_sum(&Tensor::zeros([3, 1]), &[0], 2);
+    }
+}

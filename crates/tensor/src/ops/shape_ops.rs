@@ -1,0 +1,193 @@
+//! Shape-changing operators: reshape (zero-copy), transpose, broadcast.
+
+use std::sync::Arc;
+
+use crate::shape::Shape;
+use crate::tensor::TensorInner;
+use crate::Tensor;
+
+use parking_lot::Mutex;
+
+impl Tensor {
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// Zero-copy: the result shares storage. Differentiable (gradient is
+    /// reshaped back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape from {} to {shape} changes element count",
+            self.shape()
+        );
+        // Fast path: share storage; attach a pass-through backward node.
+        if !self.requires_grad_flag() {
+            return Tensor {
+                inner: Arc::new(TensorInner {
+                    id: crate::tensor::next_id(),
+                    storage: Arc::clone(&self.inner.storage),
+                    shape,
+                    requires_grad: false,
+                    grad: Mutex::new(None),
+                    grad_fn: None,
+                }),
+            };
+        }
+        let data = self.to_vec();
+        Tensor::make_result(data, shape, self.device(), &[self.clone()], |go| {
+            vec![Some(go.to_vec())]
+        })
+    }
+
+    /// Inserts a size-1 dimension at `dim`.
+    pub fn unsqueeze(&self, dim: usize) -> Tensor {
+        let mut dims = self.dims().to_vec();
+        assert!(dim <= dims.len(), "unsqueeze dim {dim} out of range");
+        dims.insert(dim, 1);
+        self.reshape(dims)
+    }
+
+    /// Removes a size-1 dimension at `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that dimension is not size 1.
+    pub fn squeeze(&self, dim: usize) -> Tensor {
+        assert_eq!(self.dim(dim), 1, "squeeze dim {dim} is not size 1");
+        let mut dims = self.dims().to_vec();
+        dims.remove(dim);
+        self.reshape(dims)
+    }
+
+    /// Transposes a rank-2 tensor (materializing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires rank-2, got {}", self.shape());
+        let (m, n) = (self.dim(0), self.dim(1));
+        let data = self.to_vec();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = data[i * n + j];
+            }
+        }
+        Tensor::make_result(out, [n, m], self.device(), &[self.clone()], move |go| {
+            let mut g = vec![0.0f32; m * n];
+            for j in 0..n {
+                for i in 0..m {
+                    g[i * n + j] = go[j * m + i];
+                }
+            }
+            vec![Some(g)]
+        })
+    }
+
+    /// Materializes a broadcast of this tensor to `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn broadcast_to(&self, shape: impl Into<Shape>) -> Tensor {
+        let target = shape.into();
+        let out_shape = self
+            .shape()
+            .broadcast_with(&target)
+            .filter(|s| *s == target)
+            .unwrap_or_else(|| {
+                panic!("cannot broadcast {} to {target}", self.shape())
+            });
+        // Broadcasting against ones of the target shape reuses the
+        // binary machinery (and its gradient reduction).
+        let ones = Tensor::zeros_on(out_shape, self.device());
+        self.add(&ones)
+    }
+
+    /// Repeats a `[D]` vector `n` times into an `[n, D]` matrix.
+    pub fn repeat_rows(&self, n: usize) -> Tensor {
+        assert_eq!(self.rank(), 1, "repeat_rows requires rank-1, got {}", self.shape());
+        let d = self.dim(0);
+        self.broadcast_to([n, d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::check_gradient;
+    use crate::Tensor;
+
+    #[test]
+    fn reshape_shares_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let r = t.reshape([4]);
+        assert_eq!(r.dims(), &[4]);
+        t.copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(r.to_vec(), vec![9.0; 4], "reshape should share storage");
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_bad_count_panics() {
+        Tensor::zeros([2, 2]).reshape([3]);
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let u = t.unsqueeze(1);
+        assert_eq!(u.dims(), &[2, 1]);
+        assert_eq!(u.squeeze(1).dims(), &[2]);
+        let u0 = t.unsqueeze(0);
+        assert_eq!(u0.dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn transpose_values() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_gradcheck() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]).requires_grad(true);
+        check_gradient(&t, |x| x.transpose().mul_scalar(2.0).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn reshape_gradient_passthrough() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad(true);
+        t.reshape([4]).mul_scalar(3.0).sum_all().backward();
+        assert_eq!(t.grad().unwrap(), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn broadcast_to_matrix() {
+        let v = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let m = v.broadcast_to([3, 2]);
+        assert_eq!(m.dims(), &[3, 2]);
+        assert_eq!(m.to_vec(), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_grad_sums() {
+        let v = Tensor::from_vec(vec![1.0, 2.0], [2]).requires_grad(true);
+        v.broadcast_to([3, 2]).sum_all().backward();
+        assert_eq!(v.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn repeat_rows() {
+        let v = Tensor::from_vec(vec![7.0, 8.0], [2]);
+        let m = v.repeat_rows(2);
+        assert_eq!(m.to_vec(), vec![7.0, 8.0, 7.0, 8.0]);
+    }
+}

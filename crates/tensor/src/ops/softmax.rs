@@ -1,0 +1,96 @@
+//! Numerically-stable softmax over the last dimension.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Softmax over the last dimension.
+    ///
+    /// Rows are processed independently with max-subtraction for
+    /// numerical stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors.
+    pub fn softmax_last(&self) -> Tensor {
+        assert!(self.rank() >= 1, "softmax needs rank >= 1");
+        let cols = self.dim(self.rank() - 1);
+        let rows = self.numel() / cols;
+        let x = self.inner.storage.read();
+        let mut y = vec![0.0f32; x.len()];
+        for r in 0..rows {
+            let row = &x[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                y[r * cols + j] = e;
+                sum += e;
+            }
+            for j in 0..cols {
+                y[r * cols + j] /= sum;
+            }
+        }
+        drop(x);
+        let y_copy = y.clone();
+        Tensor::make_result(
+            y,
+            self.shape().clone(),
+            self.device(),
+            &[self.clone()],
+            move |go| {
+                // dx = (go - sum(go*y)) * y, per row
+                let mut g = vec![0.0f32; y_copy.len()];
+                for r in 0..rows {
+                    let base = r * cols;
+                    let dot: f32 = (0..cols).map(|j| go[base + j] * y_copy[base + j]).sum();
+                    for j in 0..cols {
+                        g[base + j] = (go[base + j] - dot) * y_copy[base + j];
+                    }
+                }
+                vec![Some(g)]
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let s = t.softmax_last();
+        let v = s.to_vec();
+        assert_close(&[v[0] + v[1] + v[2], v[3] + v[4] + v[5]], &[1.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn uniform_input_uniform_output() {
+        let t = Tensor::zeros([1, 4]);
+        assert_close(&t.softmax_last().to_vec(), &[0.25; 4], 1e-6);
+    }
+
+    #[test]
+    fn stable_with_large_values() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], [2]);
+        let v = t.softmax_last().to_vec();
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert_close(&[v[0] + v[1]], &[1.0], 1e-6);
+    }
+
+    #[test]
+    fn monotone_in_logits() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 2.0], [3]);
+        let v = t.softmax_last().to_vec();
+        assert!(v[0] < v[1] && v[1] < v[2]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]).requires_grad(true);
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 2.0, 1.0, -1.0], [2, 3]);
+        check_gradient(&t, |x| x.softmax_last().mul(&w).sum_all(), 1e-2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Elementwise unary and scalar operators.
+
+use crate::Tensor;
+
+/// Applies `fwd` elementwise; `bwd(x, y, go)` gives the input gradient
+/// for one element given input `x`, output `y`, and output grad `go`.
+fn unary_elementwise(
+    input: &Tensor,
+    fwd: impl Fn(f32) -> f32,
+    bwd: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
+) -> Tensor {
+    let x = input.to_vec();
+    let y: Vec<f32> = x.iter().map(|&v| fwd(v)).collect();
+    let y_copy = y.clone();
+    Tensor::make_result(
+        y,
+        input.shape().clone(),
+        input.device(),
+        &[input.clone()],
+        move |go| {
+            vec![Some(
+                x.iter()
+                    .zip(&y_copy)
+                    .zip(go)
+                    .map(|((&x, &y), &g)| bwd(x, y, g))
+                    .collect(),
+            )]
+        },
+    )
+}
+
+impl Tensor {
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        unary_elementwise(self, |x| -x, |_, _, g| -g)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        unary_elementwise(self, f32::exp, |_, y, g| g * y)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        unary_elementwise(self, f32::ln, |x, _, g| g / x)
+    }
+
+    /// Elementwise cosine (the kernel of the paper's time-encoder
+    /// `Φ(Δt) = cos(ω·Δt + φ)`).
+    pub fn cos(&self) -> Tensor {
+        unary_elementwise(self, f32::cos, |x, _, g| -g * x.sin())
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&self) -> Tensor {
+        unary_elementwise(self, f32::sin, |x, _, g| g * x.cos())
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary_elementwise(self, f32::sqrt, |_, y, g| g * 0.5 / y)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        unary_elementwise(
+            self,
+            |x| x.max(0.0),
+            |x, _, g| if x > 0.0 { g } else { 0.0 },
+        )
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        unary_elementwise(
+            self,
+            |x| 1.0 / (1.0 + (-x).exp()),
+            |_, y, g| g * y * (1.0 - y),
+        )
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        unary_elementwise(self, f32::tanh, |_, y, g| g * (1.0 - y * y))
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        unary_elementwise(self, move |x| x + s, |_, _, g| g)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        unary_elementwise(self, move |x| x * s, move |_, _, g| g * s)
+    }
+
+    /// Clamps every element to at least `min` (gradient is zero where
+    /// clamped).
+    pub fn clamp_min(&self, min: f32) -> Tensor {
+        unary_elementwise(
+            self,
+            move |x| x.max(min),
+            move |x, _, g| if x > min { g } else { 0.0 },
+        )
+    }
+
+    /// Clamps every element into `[lo, hi]` (gradient is zero where
+    /// clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp range is empty: [{lo}, {hi}]");
+        unary_elementwise(
+            self,
+            move |x| x.clamp(lo, hi),
+            move |x, _, g| if x > lo && x < hi { g } else { 0.0 },
+        )
+    }
+
+    /// Elementwise absolute value (gradient at 0 is 0).
+    pub fn abs(&self) -> Tensor {
+        unary_elementwise(
+            self,
+            f32::abs,
+            |x, _, g| if x > 0.0 { g } else if x < 0.0 { -g } else { 0.0 },
+        )
+    }
+
+    /// Raises every element to the power `p` (defined for the usual
+    /// domains; gradient `p·x^{p-1}`).
+    pub fn pow_scalar(&self, p: f32) -> Tensor {
+        unary_elementwise(
+            self,
+            move |x| x.powf(p),
+            move |x, _, g| g * p * x.powf(p - 1.0),
+        )
+    }
+
+    /// Leaky rectified linear unit with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        unary_elementwise(
+            self,
+            move |x| if x > 0.0 { x } else { alpha * x },
+            move |x, _, g| if x > 0.0 { g } else { alpha * g },
+        )
+    }
+
+    /// Softplus `ln(1 + e^x)`, the smooth ReLU (numerically stable).
+    pub fn softplus(&self) -> Tensor {
+        unary_elementwise(
+            self,
+            |x| x.max(0.0) + (-(x.abs())).exp().ln_1p(),
+            |x, _, g| g / (1.0 + (-x).exp()),
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by
+    /// transformer FFNs).
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        unary_elementwise(
+            self,
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x, _, g| {
+                let inner = C * (x + 0.044715 * x * x * x);
+                let t = inner.tanh();
+                let sech2 = 1.0 - t * t;
+                let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+                g * (0.5 * (1.0 + t) + 0.5 * x * sech2 * dinner)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(v, [n]).requires_grad(true)
+    }
+
+    #[test]
+    fn values() {
+        assert_eq!(t(vec![1.0, -2.0]).neg().to_vec(), vec![-1.0, 2.0]);
+        assert_close(&t(vec![0.0, 1.0]).exp().to_vec(), &[1.0, std::f32::consts::E], 1e-6);
+        assert_close(&t(vec![1.0]).ln().to_vec(), &[0.0], 1e-6);
+        assert_close(&t(vec![0.0]).cos().to_vec(), &[1.0], 1e-6);
+        assert_close(&t(vec![0.0]).sin().to_vec(), &[0.0], 1e-6);
+        assert_close(&t(vec![4.0]).sqrt().to_vec(), &[2.0], 1e-6);
+        assert_eq!(t(vec![-1.0, 2.0]).relu().to_vec(), vec![0.0, 2.0]);
+        assert_close(&t(vec![0.0]).sigmoid().to_vec(), &[0.5], 1e-6);
+        assert_close(&t(vec![0.0]).tanh().to_vec(), &[0.0], 1e-6);
+        assert_eq!(t(vec![1.0]).add_scalar(2.0).to_vec(), vec![3.0]);
+        assert_eq!(t(vec![3.0]).mul_scalar(-2.0).to_vec(), vec![-6.0]);
+        assert_eq!(t(vec![-5.0, 5.0]).clamp_min(0.0).to_vec(), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn gradchecks() {
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.exp().sum_all(), 1e-1);
+        check_gradient(&t(vec![0.5, 1.5, 2.5]), |x| x.ln().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.cos().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.sin().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.9, 2.5]), |x| x.sqrt().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7]), |x| x.sigmoid().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7]), |x| x.tanh().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7]), |x| x.mul_scalar(3.0).sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7]), |x| x.neg().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn extended_activation_values() {
+        assert_eq!(t(vec![-3.0, 0.5, 9.0]).clamp(0.0, 1.0).to_vec(), vec![0.0, 0.5, 1.0]);
+        assert_eq!(t(vec![-2.0, 3.0]).abs().to_vec(), vec![2.0, 3.0]);
+        assert_close(&t(vec![2.0]).pow_scalar(3.0).to_vec(), &[8.0], 1e-5);
+        assert_close(&t(vec![-2.0, 2.0]).leaky_relu(0.1).to_vec(), &[-0.2, 2.0], 1e-6);
+        assert_close(&t(vec![0.0]).softplus().to_vec(), &[std::f32::consts::LN_2], 1e-6);
+        // GELU(0) = 0; GELU is ~identity for large positive x.
+        assert_close(&t(vec![0.0]).gelu().to_vec(), &[0.0], 1e-6);
+        assert_close(&t(vec![6.0]).gelu().to_vec(), &[6.0], 1e-2);
+    }
+
+    #[test]
+    fn extended_activation_gradchecks() {
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.leaky_relu(0.2).sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.softplus().sum_all(), 1e-2);
+        check_gradient(&t(vec![0.3, -0.7, 1.2]), |x| x.gelu().sum_all(), 2e-2);
+        check_gradient(&t(vec![1.3, 0.7, 2.2]), |x| x.pow_scalar(1.7).sum_all(), 5e-2);
+        check_gradient(&t(vec![0.6, -0.4]), |x| x.clamp(-0.5, 0.5).mul(x).sum_all(), 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp range is empty")]
+    fn clamp_bad_range_panics() {
+        t(vec![1.0]).clamp(2.0, 1.0);
+    }
+
+    #[test]
+    fn relu_grad_zero_below_zero() {
+        let x = t(vec![-1.0, 2.0]);
+        x.relu().sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Gradient-descent optimizers.
+
+use std::collections::HashMap;
+
+use crate::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<u64, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Sgd {
+        Sgd {
+            params,
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Sgd {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Applies one update step using accumulated gradients.
+    pub fn step(&mut self) {
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| vec![0.0; g.len()]);
+                p.with_data_mut(|data| {
+                    for ((d, gi), vi) in data.iter_mut().zip(&g).zip(v.iter_mut()) {
+                        *vi = self.momentum * *vi + gi;
+                        *d -= self.lr * *vi;
+                    }
+                });
+            } else {
+                p.with_data_mut(|data| {
+                    for (d, gi) in data.iter_mut().zip(&g) {
+                        *d -= self.lr * gi;
+                    }
+                });
+            }
+        }
+    }
+
+    /// Clears gradients on all parameters.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Rescales accumulated gradients so their global L2 norm is at most
+/// `max_norm`; returns the norm before clipping. Standard stabilizer
+/// for RNN/GRU-based temporal models (JODIE/TGN memory updaters).
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            sq += g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        }
+    }
+    let norm = (sq.sqrt()) as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                for v in g.iter_mut() {
+                    *v *= scale;
+                }
+                p.zero_grad();
+                p.accumulate_grad_public(&g);
+            }
+        }
+    }
+    norm
+}
+
+/// Adam optimizer (Kingma & Ba), the paper models' default.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    state: HashMap<u64, (Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Adam {
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Applies one update step using accumulated gradients.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let (m, v) = self
+                .state
+                .entry(p.id())
+                .or_insert_with(|| (vec![0.0; g.len()], vec![0.0; g.len()]));
+            p.with_data_mut(|data| {
+                for i in 0..g.len() {
+                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                    let m_hat = m[i] / bc1;
+                    let v_hat = v[i] / bc2;
+                    data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            });
+        }
+    }
+
+    /// Clears gradients on all parameters.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Number of parameter tensors under management.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    /// Minimizing (x - 3)^2 should converge to x = 3.
+    fn quadratic_loss(x: &Tensor) -> Tensor {
+        let d = x.add_scalar(-3.0);
+        d.mul(&d).sum_all()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let x = Tensor::from_vec(vec![0.0], [1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![x.clone()], 0.1);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quadratic_loss(&x).backward();
+            opt.step();
+        }
+        assert!((x.to_vec()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        let x = Tensor::from_vec(vec![0.0], [1]).requires_grad(true);
+        let mut opt = Sgd::new(vec![x.clone()], 0.05).with_momentum(0.9);
+        for _ in 0..200 {
+            opt.zero_grad();
+            quadratic_loss(&x).backward();
+            opt.step();
+        }
+        assert!((x.to_vec()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let x = Tensor::from_vec(vec![-5.0, 10.0], [2]).requires_grad(true);
+        let mut opt = Adam::new(vec![x.clone()], 0.3);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_loss(&x).backward();
+            opt.step();
+        }
+        for v in x.to_vec() {
+            assert!((v - 3.0).abs() < 1e-2, "got {v}");
+        }
+    }
+
+    #[test]
+    fn step_without_grad_is_noop() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad(true);
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        opt.step();
+        assert_eq!(x.to_vec(), vec![1.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let x = Tensor::from_vec(vec![3.0, 4.0], [2]).requires_grad(true);
+        // grad = [3, 4] after d/dx of 0.5*x^2 summed
+        x.mul(&x).mul_scalar(0.5).sum_all().backward();
+        let before = clip_grad_norm(&[x.clone()], 1.0);
+        assert!((before - 5.0).abs() < 1e-4);
+        let g = x.grad().unwrap();
+        let norm: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "clipped norm {norm}");
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_when_small() {
+        let x = Tensor::from_vec(vec![0.1], [1]).requires_grad(true);
+        x.mul_scalar(1.0).sum_all().backward();
+        let before = clip_grad_norm(&[x.clone()], 10.0);
+        assert!((before - 1.0).abs() < 1e-5);
+        assert_eq!(x.grad().unwrap(), vec![1.0], "untouched below max");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad(true);
+        quadratic_loss(&x).backward();
+        assert!(x.grad().is_some());
+        let opt = Adam::new(vec![x.clone()], 0.1);
+        opt.zero_grad();
+        assert!(x.grad().is_none());
+    }
+}

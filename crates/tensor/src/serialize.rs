@@ -1,0 +1,155 @@
+//! Parameter checkpointing.
+//!
+//! A minimal, dependency-free binary format for saving and restoring a
+//! model's parameter tensors (the `state_dict` role in the paper's
+//! PyTorch stack — TGL's training scripts checkpoint the best epoch and
+//! reload it before test inference).
+//!
+//! Format: magic `TGLT`, version u32, tensor count u32, then per
+//! tensor: rank u32, dims (u64 each), data (f32 little-endian).
+//! Tensors are identified positionally, so save/load must use the same
+//! `parameters()` ordering — which is deterministic for all models in
+//! this workspace.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Tensor;
+
+const MAGIC: &[u8; 4] = b"TGLT";
+const VERSION: u32 = 1;
+
+/// Saves `params` to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params(params: &[Tensor], path: &Path) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.rank() as u32).to_le_bytes())?;
+        for &d in p.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        p.with_data(|data| {
+            for v in data {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            Ok::<(), std::io::Error>(())
+        })?;
+    }
+    w.flush()
+}
+
+/// Loads a checkpoint produced by [`save_params`] into `params` **in
+/// place** (tensor count and shapes must match exactly).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a malformed file or any shape mismatch,
+/// or the underlying I/O error.
+pub fn load_params(params: &[Tensor], path: &Path) -> std::io::Result<()> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TGLT checkpoint"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    if u32::from_le_bytes(u32buf) != VERSION {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    if count != params.len() {
+        return Err(bad(&format!(
+            "checkpoint has {count} tensors, model has {}",
+            params.len()
+        )));
+    }
+    for p in params {
+        r.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        if rank != p.rank() {
+            return Err(bad("tensor rank mismatch"));
+        }
+        let mut u64buf = [0u8; 8];
+        for &expect in p.dims() {
+            r.read_exact(&mut u64buf)?;
+            if u64::from_le_bytes(u64buf) as usize != expect {
+                return Err(bad("tensor shape mismatch"));
+            }
+        }
+        let mut data = vec![0.0f32; p.numel()];
+        for v in data.iter_mut() {
+            r.read_exact(&mut u32buf)?;
+            *v = f32::from_le_bytes(u32buf);
+        }
+        p.copy_from_slice(&data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tgl-tensor-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng).requires_grad(true);
+        let b = Tensor::rand_uniform([5], -1.0, 1.0, &mut rng).requires_grad(true);
+        let (va, vb) = (a.to_vec(), b.to_vec());
+        let path = tmp("roundtrip.tglt");
+        save_params(&[a.clone(), b.clone()], &path).unwrap();
+        // Clobber, then restore.
+        a.copy_from_slice(&vec![0.0; 12]);
+        b.copy_from_slice(&vec![0.0; 5]);
+        load_params(&[a.clone(), b.clone()], &path).unwrap();
+        assert_eq!(a.to_vec(), va);
+        assert_eq!(b.to_vec(), vb);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_invalid_data() {
+        let path = tmp("mismatch.tglt");
+        save_params(&[Tensor::zeros([2, 2])], &path).unwrap();
+        let err = load_params(&[Tensor::zeros([4])], &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err2 = load_params(&[Tensor::zeros([2, 3])], &path).unwrap_err();
+        assert_eq!(err2.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn count_mismatch_is_invalid_data() {
+        let path = tmp("count.tglt");
+        save_params(&[Tensor::zeros([1])], &path).unwrap();
+        let err = load_params(&[Tensor::zeros([1]), Tensor::zeros([1])], &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage.tglt");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let err = load_params(&[Tensor::zeros([1])], &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+}

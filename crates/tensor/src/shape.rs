@@ -1,0 +1,249 @@
+//! Tensor shapes and broadcasting rules.
+
+use std::fmt;
+
+/// The dimensions of a tensor, row-major.
+///
+/// A rank-0 shape (`[]`) denotes a scalar with one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Returns a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (s, d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Computes the broadcast shape of `self` and `other` following
+    /// NumPy right-aligned rules, or `None` if they are incompatible.
+    pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = dim_from_right(&self.0, rank - 1 - i);
+            let b = dim_from_right(&other.0, rank - 1 - i);
+            out[i] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            };
+        }
+        Some(Shape(out))
+    }
+
+    /// Returns the shape with dimension `d` removed (for reductions
+    /// without keepdim). Removing the only dimension yields a scalar.
+    pub fn without_dim(&self, d: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims.remove(d);
+        Shape(dims)
+    }
+}
+
+/// Size of the dimension at `offset` positions from the right; missing
+/// (padded) dimensions count as 1.
+fn dim_from_right(dims: &[usize], offset: usize) -> usize {
+    if offset < dims.len() {
+        dims[dims.len() - 1 - offset]
+    } else {
+        1
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Iterates all output coordinates of `out_shape`, yielding for each the
+/// flat index into two broadcast-input buffers with shapes `a` and `b`.
+///
+/// Used by the broadcasting elementwise kernels and their backward
+/// passes. Dimensions of size 1 in an input get stride 0.
+pub(crate) fn broadcast_index_iter<'s>(
+    a: &Shape,
+    b: &Shape,
+    out: &'s Shape,
+) -> impl Iterator<Item = (usize, usize)> + 's {
+    let rank = out.rank();
+    let pad = |s: &Shape| -> Vec<usize> {
+        let mut dims = vec![1; rank - s.rank()];
+        dims.extend_from_slice(s.dims());
+        dims
+    };
+    let a_dims = pad(a);
+    let b_dims = pad(b);
+    let a_strides_full = Shape(a_dims.clone()).strides();
+    let b_strides_full = Shape(b_dims.clone()).strides();
+    let a_strides: Vec<usize> = a_dims
+        .iter()
+        .zip(&a_strides_full)
+        .map(|(&d, &s)| if d == 1 { 0 } else { s })
+        .collect();
+    let b_strides: Vec<usize> = b_dims
+        .iter()
+        .zip(&b_strides_full)
+        .map(|(&d, &s)| if d == 1 { 0 } else { s })
+        .collect();
+    let out_dims = out.dims().to_vec();
+    let numel = out.numel();
+
+    let mut coord = vec![0usize; rank];
+    let mut first = true;
+    (0..numel).map(move |_| {
+        if first {
+            first = false;
+        } else {
+            for d in (0..rank).rev() {
+                coord[d] += 1;
+                if coord[d] < out_dims[d] {
+                    break;
+                }
+                coord[d] = 0;
+            }
+        }
+        let ai: usize = coord.iter().zip(&a_strides).map(|(&c, &s)| c * s).sum();
+        let bi: usize = coord.iter().zip(&b_strides).map(|(&c, &s)| c * s).sum();
+        (ai, bi)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn broadcast_same_shape() {
+        let a = Shape::new([2, 3]);
+        assert_eq!(a.broadcast_with(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn broadcast_scalar_vs_matrix() {
+        let a = Shape::scalar();
+        let b = Shape::new([4, 5]);
+        assert_eq!(a.broadcast_with(&b), Some(b.clone()));
+        assert_eq!(b.broadcast_with(&a), Some(b));
+    }
+
+    #[test]
+    fn broadcast_column_times_row() {
+        let a = Shape::new([3, 1]);
+        let b = Shape::new([4]);
+        assert_eq!(a.broadcast_with(&b), Some(Shape::new([3, 4])));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new([3, 2]);
+        let b = Shape::new([4]);
+        assert_eq!(a.broadcast_with(&b), None);
+    }
+
+    #[test]
+    fn without_dim() {
+        assert_eq!(Shape::new([2, 3, 4]).without_dim(1), Shape::new([2, 4]));
+        assert_eq!(Shape::new([5]).without_dim(0), Shape::scalar());
+    }
+
+    #[test]
+    fn broadcast_iter_column_row() {
+        let a = Shape::new([2, 1]);
+        let b = Shape::new([3]);
+        let out = a.broadcast_with(&b).unwrap();
+        let pairs: Vec<_> = broadcast_index_iter(&a, &b, &out).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

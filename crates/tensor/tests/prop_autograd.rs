@@ -1,0 +1,114 @@
+//! Property-based tests: autograd gradients match central-difference
+//! numeric gradients on random inputs and shapes.
+
+use proptest::prelude::*;
+use tgl_tensor::ops::cat;
+use tgl_tensor::Tensor;
+
+/// Numerically estimates the gradient of scalar-valued `f` at `data`
+/// and compares to autograd's.
+fn gradcheck(data: Vec<f32>, dims: Vec<usize>, f: impl Fn(&Tensor) -> Tensor, tol: f32) {
+    let x = Tensor::from_vec(data.clone(), dims.clone()).requires_grad(true);
+    let out = f(&x);
+    assert_eq!(out.numel(), 1);
+    out.backward();
+    let analytic = x.grad().expect("gradient");
+    let eps = 1e-2f32;
+    for i in 0..data.len() {
+        let mut plus = data.clone();
+        plus[i] += eps;
+        let mut minus = data.clone();
+        minus[i] -= eps;
+        let fp = f(&Tensor::from_vec(plus, dims.clone())).item();
+        let fm = f(&Tensor::from_vec(minus, dims.clone())).item();
+        let numeric = (fp - fm) / (2.0 * eps);
+        assert!(
+            (analytic[i] - numeric).abs() <= tol + tol * numeric.abs(),
+            "grad[{i}]: analytic {} vs numeric {numeric}",
+            analytic[i]
+        );
+    }
+}
+
+/// Random well-conditioned input vectors (bounded away from op
+/// singularities).
+fn arb_input() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, 2..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn elementwise_chain_gradcheck(data in arb_input()) {
+        let n = data.len();
+        gradcheck(data, vec![n], |x| x.mul_scalar(0.7).tanh().mul(x).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn sigmoid_exp_gradcheck(data in arb_input()) {
+        let n = data.len();
+        gradcheck(data, vec![n], |x| x.sigmoid().add_scalar(0.5).ln().sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn softmax_weighted_gradcheck(data in prop::collection::vec(-2.0f32..2.0, 4..12)) {
+        let n = data.len() & !1; // even
+        let data = data[..n].to_vec();
+        let w = Tensor::from_vec((0..n).map(|i| (i % 3) as f32 - 1.0).collect(), [2, n / 2]);
+        gradcheck(data, vec![2, n / 2], move |x| x.softmax_last().mul(&w).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn matmul_gradcheck(data in prop::collection::vec(-1.5f32..1.5, 6..6usize.saturating_add(1))) {
+        // [2,3] x fixed [3,2]
+        let b = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1], [3, 2]);
+        gradcheck(data, vec![2, 3], move |x| x.matmul(&b).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn cat_index_select_gradcheck(data in prop::collection::vec(-2.0f32..2.0, 4..10)) {
+        let n = data.len();
+        gradcheck(data, vec![n], move |x| {
+            let y = cat(&[x.clone(), x.mul_scalar(2.0)], 0);
+            y.index_select(&[0, n, n - 1, 0]).sum_all()
+        }, 5e-2);
+    }
+
+    #[test]
+    fn reduction_gradcheck(data in prop::collection::vec(-2.0f32..2.0, 6..6usize.saturating_add(1))) {
+        gradcheck(data, vec![2, 3], |x| x.sum_dim(1).mul(&x.mean_dim(1)).sum_all(), 5e-2);
+    }
+
+    /// Broadcasting in any direction keeps gradients consistent with
+    /// materialized broadcasting.
+    #[test]
+    fn broadcast_grad_matches_materialized(
+        col in prop::collection::vec(-2.0f32..2.0, 3..3usize.saturating_add(1)),
+        row in prop::collection::vec(-2.0f32..2.0, 4..4usize.saturating_add(1)),
+    ) {
+        let a = Tensor::from_vec(col.clone(), [3, 1]).requires_grad(true);
+        let b = Tensor::from_vec(row.clone(), [4]);
+        a.mul(&b).sum_all().backward();
+        let got = a.grad().unwrap();
+        let row_sum: f32 = row.iter().sum();
+        for g in &got {
+            prop_assert!((g - row_sum).abs() < 1e-4);
+        }
+    }
+
+    /// exp(ln(x)) == x and the composed gradient is 1, for positive x.
+    #[test]
+    fn ln_exp_roundtrip(data in prop::collection::vec(0.2f32..3.0, 2..8)) {
+        let n = data.len();
+        let x = Tensor::from_vec(data.clone(), [n]).requires_grad(true);
+        let y = x.ln().exp();
+        for (a, b) in y.to_vec().iter().zip(&data) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        y.sum_all().backward();
+        for g in x.grad().unwrap() {
+            prop_assert!((g - 1.0).abs() < 1e-3);
+        }
+    }
+}

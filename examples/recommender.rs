@@ -1,0 +1,81 @@
+//! Time-aware recommendation — the paper's other motivating CTDG
+//! application ("time-aware recommendation systems").
+//!
+//! ```sh
+//! cargo run --release -p tgl-examples --bin recommender
+//! ```
+//!
+//! JODIE (the model built for exactly this: user–item interaction
+//! trajectories) trains on a LastFM-shaped listening stream, then
+//! produces top-k item recommendations for users by scoring all items
+//! with the user's time-projected memory embedding.
+
+use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
+use tgl_harness::{TrainConfig, Trainer};
+use tgl_models::{Jodie, ModelConfig, OptFlags, TemporalModel};
+use tglite::tensor::no_grad;
+use tglite::{TBatch, TContext};
+
+fn main() {
+    let spec = DatasetSpec::of(DatasetKind::Lastfm).scaled_down(3);
+    let (graph, stats) = generate(&spec);
+    let n_users = spec.n_src;
+    let n_items = spec.n_items;
+    println!(
+        "listening stream: {} users x {} tracks, {} plays",
+        n_users, n_items, stats.num_edges
+    );
+
+    let ctx = TContext::new(graph.clone());
+    let mut model = Jodie::new(
+        &ctx,
+        ModelConfig {
+            emb_dim: 32,
+            time_dim: 16,
+            heads: 1,
+            n_layers: 1,
+            n_neighbors: 1,
+            mailbox_slots: 1,
+        },
+        OptFlags::preload_only(),
+        11,
+    );
+
+    let split = Split::standard(&graph);
+    let trainer = Trainer::new(
+        TrainConfig {
+            batch_size: 200,
+            epochs: 3,
+            lr: 2e-3,
+            seed: 2,
+        },
+        n_users as u32,
+        spec.num_nodes() as u32,
+    );
+    let (_, best_val, test_ap, _) = trainer.run(&mut model, &ctx, &split);
+    println!("val AP {:.2}%, test AP {:.2}%", best_val * 100.0, test_ap * 100.0);
+
+    // Top-k recommendation: for a few active users, score every item
+    // at "now" (just past the final event) and rank, using the
+    // stateless scoring API so the model's memory is not perturbed.
+    println!("\n--- top-3 recommendations at t = now ---");
+    let now = graph.max_time() + 1.0;
+    model.set_training(false);
+    let _guard = no_grad();
+    let items: Vec<u32> = (0..n_items as u32).map(|i| n_users as u32 + i).collect();
+    for user in 0..3u32 {
+        let users = vec![user; items.len()];
+        let times = vec![now; items.len()];
+        let scores = model.score_pairs(&ctx, &users, &items, &times);
+        let mut ranked: Vec<(u32, f32)> = (0..items.len() as u32).zip(scores).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .map(|(i, s)| format!("track#{i} ({s:.2})"))
+            .collect();
+        println!("user#{user} @ t={now:.0}: {}", top.join(", "));
+    }
+    let _ = TBatch::new(graph.clone(), 0..0); // (API surface sanity)
+    assert!(test_ap > 0.5, "recommender should beat random");
+}

@@ -1,0 +1,91 @@
+//! Model checkpointing across the full stack: TGL's scripts save the
+//! best epoch and reload it before test inference; this verifies the
+//! same workflow works here for every model.
+
+use tgl_integration::{assert_logits_close, batch, ctx, tiny_wiki};
+use tgl_models::{Apan, Jodie, ModelConfig, OptFlags, TemporalModel, Tgat, Tgn};
+use tglite::tensor::no_grad;
+use tglite::TContext;
+
+fn ckpt_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tgl-integration-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Builds a model on a fresh graph, saves, perturbs every parameter,
+/// reloads, and verifies inference is restored exactly.
+fn roundtrip<M: TemporalModel>(build: impl Fn(&TContext) -> M, name: &str) {
+    let (g, spec) = tiny_wiki();
+    let c = ctx(&g);
+    let mut model = build(&c);
+    model.set_training(false);
+    let _guard = no_grad();
+    let b = batch(&g, &spec, 100..160, 0);
+    g.reset_state();
+    let (before, _) = model.forward(&c, &b);
+    let before = before.to_vec();
+
+    let path = ckpt_path(name);
+    model.save(&path).unwrap();
+    for p in model.parameters() {
+        p.with_data_mut(|d| d.iter_mut().for_each(|v| *v += 1.0));
+    }
+    g.reset_state();
+    c.clear_caches();
+    let (clobbered, _) = model.forward(&c, &b);
+    assert_ne!(clobbered.to_vec(), before, "perturbation must change output");
+
+    model.load(&path).unwrap();
+    g.reset_state();
+    c.clear_caches();
+    let (after, _) = model.forward(&c, &b);
+    assert_logits_close(&after.to_vec(), &before, 1e-5, name);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn tgat_checkpoint_roundtrip() {
+    roundtrip(
+        |c| Tgat::new(c, ModelConfig::tiny(), OptFlags::none(), 1),
+        "tgat.tglt",
+    );
+}
+
+#[test]
+fn tgn_checkpoint_roundtrip() {
+    roundtrip(
+        |c| Tgn::new(c, ModelConfig::tiny(), OptFlags::none(), 2),
+        "tgn.tglt",
+    );
+}
+
+#[test]
+fn jodie_checkpoint_roundtrip() {
+    roundtrip(
+        |c| Jodie::new(c, ModelConfig::tiny(), OptFlags::none(), 3),
+        "jodie.tglt",
+    );
+}
+
+#[test]
+fn apan_checkpoint_roundtrip() {
+    roundtrip(
+        |c| Apan::new(c, ModelConfig::tiny(), OptFlags::none(), 4),
+        "apan.tglt",
+    );
+}
+
+#[test]
+fn cross_model_checkpoints_are_rejected() {
+    let (g, _) = tiny_wiki();
+    let c1 = ctx(&g);
+    let tgat = Tgat::new(&c1, ModelConfig::tiny(), OptFlags::none(), 5);
+    let path = ckpt_path("cross.tglt");
+    tgat.save(&path).unwrap();
+    let c2 = ctx(&g);
+    let mut jodie = Jodie::new(&c2, ModelConfig::tiny(), OptFlags::none(), 5);
+    let err = jodie.load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(path).ok();
+}
