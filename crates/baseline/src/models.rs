@@ -6,8 +6,8 @@
 //! transfers, manual bookkeeping instead of block operators, and no
 //! redundancy optimizations.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_graph::NodeId;
 use tgl_models::{EdgePredictor, ModelConfig, TemporalModel};
 use tgl_sampler::{SamplingStrategy, TemporalSampler};
@@ -666,7 +666,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use rand::Rng;
+    use tgl_runtime::rng::Rng;
     use tglite::TGraph;
 
     fn small_graph(seed: u64) -> Arc<TGraph> {

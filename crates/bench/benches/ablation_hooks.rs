@@ -124,7 +124,7 @@ fn main() {
         n_neighbors: 10,
         mailbox_slots: 10,
     };
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let mut rng = <tgl_runtime::rng::StdRng as tgl_runtime::rng::SeedableRng>::seed_from_u64(3);
     let layers: Vec<TemporalAttnLayer> = (0..N_LAYERS)
         .map(|i| {
             let dim_in = if i == N_LAYERS - 1 {

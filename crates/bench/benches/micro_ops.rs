@@ -1,14 +1,22 @@
-//! Criterion microbenchmarks for the operators underneath the paper's
+//! Std-only microbenchmarks for the operators underneath the paper's
 //! results: temporal sampling, segmented kernels, the redundancy
 //! operators, time precomputation, and tier transfers. These support
 //! the Fig. 7 breakdown analysis at operator granularity.
+//!
+//! The second half sweeps the `tgl-runtime` pool over 1..=N threads for
+//! the three hottest parallel kernels (dense matmul, segment softmax,
+//! batch temporal sampling) and writes the measurements to
+//! `BENCH_parallel.json` at the workspace root so the perf trajectory
+//! is recorded per machine. Speedups are relative to the same kernel
+//! forced onto one thread; on a single-core host the sweep still runs
+//! (validating determinism and overhead) but cannot show wall-clock
+//! gains, so the JSON also records `host_cpus`.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::{SeedableRng, StdRng};
+use tgl_runtime::set_threads;
 
 use tgl_data::{generate, DatasetKind, DatasetSpec};
 use tgl_device::{Device, PinnedPool};
@@ -18,6 +26,26 @@ use tgl_tensor::Tensor;
 use tglite::nn::TimeEncode;
 use tglite::{op, TBlock, TContext, TSampler};
 
+/// Times `f`, adaptively picking an iteration count that fills roughly
+/// `budget_s` seconds, and returns mean seconds per iteration.
+fn time_it<R>(mut f: impl FnMut() -> R, budget_s: f64) -> f64 {
+    // Warm-up + calibration run.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_s / once) as usize).clamp(1, 10_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn report<R>(name: &str, f: impl FnMut() -> R) {
+    let s = time_it(f, 0.3);
+    println!("  {name:<36} {:>12.1} us/iter", s * 1e6);
+}
+
 fn setup() -> (Arc<tglite::TGraph>, TContext) {
     let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(4);
     let (g, _) = generate(&spec);
@@ -25,7 +53,7 @@ fn setup() -> (Arc<tglite::TGraph>, TContext) {
     (g, ctx)
 }
 
-fn bench_sampler(c: &mut Criterion) {
+fn bench_sampler() {
     let (g, _ctx) = setup();
     let csr = g.tcsr();
     let n = 512usize;
@@ -33,15 +61,11 @@ fn bench_sampler(c: &mut Criterion) {
     let times: Vec<f64> = vec![g.max_time(); n];
     let recent = TemporalSampler::new(10, SamplingStrategy::Recent).with_threads(1);
     let uniform = TemporalSampler::new(10, SamplingStrategy::Uniform).with_threads(1);
-    c.bench_function("sampler_recent_512x10", |b| {
-        b.iter(|| recent.sample(&csr, &nodes, &times))
-    });
-    c.bench_function("sampler_uniform_512x10", |b| {
-        b.iter(|| uniform.sample(&csr, &nodes, &times))
-    });
+    report("sampler_recent_512x10", || recent.sample(&csr, &nodes, &times));
+    report("sampler_uniform_512x10", || uniform.sample(&csr, &nodes, &times));
 }
 
-fn bench_segment_ops(c: &mut Criterion) {
+fn bench_segment_ops() {
     let mut rng = StdRng::seed_from_u64(0);
     let n = 4096;
     let d = 32;
@@ -49,102 +73,189 @@ fn bench_segment_ops(c: &mut Criterion) {
     let logits = Tensor::rand_uniform([n, 2], -1.0, 1.0, &mut rng);
     let seg: Vec<usize> = (0..n).map(|i| i / 10).collect();
     let nseg = n / 10 + 1;
-    c.bench_function("segment_sum_4096x32", |b| {
-        b.iter(|| segment_sum(&vals, &seg, nseg))
-    });
-    c.bench_function("segment_softmax_4096x2", |b| {
-        b.iter(|| segment_softmax(&logits, &seg, nseg))
-    });
+    report("segment_sum_4096x32", || segment_sum(&vals, &seg, nseg));
+    report("segment_softmax_4096x2", || segment_softmax(&logits, &seg, nseg));
 }
 
-fn bench_redundancy_ops(c: &mut Criterion) {
+fn bench_redundancy_ops() {
     let (_g, ctx) = setup();
     // Heavily duplicated destinations (the dedup win case).
     let nodes: Vec<u32> = (0..600u32).map(|i| i % 50).collect();
     let times: Vec<f64> = (0..600).map(|i| (i % 25) as f64 * 100.0 + 1000.0).collect();
-    c.bench_function("dedup_600_dsts", |b| {
-        b.iter(|| {
-            let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
-            op::dedup(&blk);
-            blk.num_dst()
-        })
+    report("dedup_600_dsts", || {
+        let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+        op::dedup(&blk);
+        blk.num_dst()
     });
     // Cache with a warm table.
     let warm = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
     op::cache(&ctx, &warm);
     let k = warm.num_dst();
     warm.run_hooks(Tensor::zeros([k, 32]));
-    c.bench_function("cache_600_dsts_warm", |b| {
-        b.iter(|| {
-            let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
-            op::cache(&ctx, &blk);
-            blk.num_dst()
-        })
+    report("cache_600_dsts_warm", || {
+        let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+        op::cache(&ctx, &blk);
+        blk.num_dst()
     });
 }
 
-fn bench_time_encode(c: &mut Criterion) {
+fn bench_time_encode() {
     let (_g, ctx) = setup();
     let mut rng = StdRng::seed_from_u64(1);
     let enc = TimeEncode::new(16, &mut rng);
     // Quantized deltas: few distinct values (the precompute win case).
     let deltas: Vec<f32> = (0..2048).map(|i| (i % 40) as f32 * 900.0).collect();
-    c.bench_function("time_encode_direct_2048", |b| {
-        b.iter(|| enc.forward(&deltas))
-    });
+    report("time_encode_direct_2048", || enc.forward(&deltas));
     op::precomputed_times(&ctx, &enc, &deltas); // warm the table
-    c.bench_function("time_encode_precomputed_2048", |b| {
-        b.iter(|| op::precomputed_times(&ctx, &enc, &deltas))
-    });
+    report("time_encode_precomputed_2048", || op::precomputed_times(&ctx, &enc, &deltas));
 }
 
-fn bench_transfers(c: &mut Criterion) {
+fn bench_transfers() {
     tgl_device::set_transfer_model(tgl_device::TransferModel::disabled());
     let t = Tensor::zeros([512, 64]);
     let pool = PinnedPool::new();
-    c.bench_function("transfer_pageable_128k", |b| {
-        b.iter(|| t.to(Device::Accel))
-    });
-    c.bench_function("transfer_pinned_128k", |b| {
-        b.iter(|| t.to_pinned(Device::Accel, &pool))
-    });
+    report("transfer_pageable_128k", || t.to(Device::Accel));
+    report("transfer_pinned_128k", || t.to_pinned(Device::Accel, &pool));
 }
 
-fn bench_sampling_block_path(c: &mut Criterion) {
+fn bench_sampling_block_path() {
     let (g, ctx) = setup();
     let sampler = TSampler::new(10, SamplingStrategy::Recent);
     let nodes: Vec<u32> = (0..256u32).map(|i| i % g.num_nodes() as u32).collect();
     let times = vec![g.max_time(); 256];
-    c.bench_function("block_sample_and_chain", |b| {
-        b.iter(|| {
-            let head = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
-            sampler.sample(&head);
-            let tail = head.next_block();
-            sampler.sample(&tail);
-            tail.num_edges()
-        })
+    report("block_sample_and_chain", || {
+        let head = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+        sampler.sample(&head);
+        let tail = head.next_block();
+        sampler.sample(&tail);
+        tail.num_edges()
     });
 }
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = StdRng::seed_from_u64(2);
     let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
-    let b_ = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
-    c.bench_function("matmul_256", |b| b.iter(|| a.matmul(&b_)));
+    let b = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    report("matmul_256", || a.matmul(&b));
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500))
+/// One measured cell of the thread sweep.
+struct SweepCell {
+    bench: &'static str,
+    threads: usize,
+    secs: f64,
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_sampler, bench_segment_ops, bench_redundancy_ops,
-              bench_time_encode, bench_transfers, bench_sampling_block_path,
-              bench_matmul
+/// Sweeps the three hottest parallel kernels over the given thread
+/// counts and returns per-cell timings.
+fn thread_sweep(counts: &[usize]) -> Vec<SweepCell> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::rand_uniform([512, 512], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([512, 512], -1.0, 1.0, &mut rng);
+
+    let n = 32 * 1024;
+    let d = 16;
+    let vals = Tensor::rand_uniform([n, d], -1.0, 1.0, &mut rng);
+    let seg: Vec<usize> = (0..n).map(|i| i / 10).collect();
+    let nseg = n / 10 + 1;
+
+    let (g, _ctx) = setup();
+    let csr = g.tcsr();
+    let batch = 1024usize;
+    let nodes: Vec<u32> = (0..batch as u32).map(|i| i % g.num_nodes() as u32).collect();
+    let times: Vec<f64> = vec![g.max_time(); batch];
+
+    let mut cells = Vec::new();
+    for &t in counts {
+        set_threads(t);
+        let uniform = TemporalSampler::new(10, SamplingStrategy::Uniform).with_threads(t);
+        cells.push(SweepCell {
+            bench: "matmul_512",
+            threads: t,
+            secs: time_it(|| a.matmul(&b), 0.5),
+        });
+        cells.push(SweepCell {
+            bench: "segment_softmax_32768x16",
+            threads: t,
+            secs: time_it(|| segment_softmax(&vals, &seg, nseg), 0.5),
+        });
+        cells.push(SweepCell {
+            bench: "sampling_uniform_1024x10",
+            threads: t,
+            secs: time_it(|| uniform.sample(&csr, &nodes, &times), 0.5),
+        });
+    }
+    cells
 }
-criterion_main!(benches);
+
+/// Renders the sweep as JSON (hand-rolled; the workspace is
+/// dependency-free) and returns it as a string.
+fn sweep_json(cells: &[SweepCell], counts: &[usize], host_cpus: usize) -> String {
+    let base = |name: &str| {
+        cells
+            .iter()
+            .find(|c| c.bench == name && c.threads == 1)
+            .map_or(f64::NAN, |c| c.secs)
+    };
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!(
+        "  \"threads_swept\": [{}],\n",
+        counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let speedup = base(c.bench) / c.secs;
+        s.push_str(&format!(
+            "    {{\"bench\": {:?}, \"threads\": {}, \"secs\": {:.6e}, \"speedup_vs_1t\": {:.3}}}{}\n",
+            c.bench,
+            c.threads,
+            c.secs,
+            speedup,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    println!("== operator microbenchmarks (std timer, mean of adaptive iters) ==");
+    bench_sampler();
+    bench_segment_ops();
+    bench_redundancy_ops();
+    bench_time_encode();
+    bench_transfers();
+    bench_sampling_block_path();
+    bench_matmul();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c == 1 || c <= host_cpus.max(4))
+        .collect();
+    println!();
+    println!("== thread sweep ({host_cpus} host cpus) ==");
+    let cells = thread_sweep(&counts);
+    for c in &cells {
+        let base = cells
+            .iter()
+            .find(|x| x.bench == c.bench && x.threads == 1)
+            .map_or(f64::NAN, |x| x.secs);
+        println!(
+            "  {:<28} t={:<2} {:>12.1} us/iter  (x{:.2} vs 1t)",
+            c.bench,
+            c.threads,
+            c.secs * 1e6,
+            base / c.secs
+        );
+    }
+    set_threads(1);
+
+    let json = sweep_json(&cells, &counts, host_cpus);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -48,15 +48,14 @@ fn inference_time(
         mailbox_slots: 10,
     };
     let mut negs = NegativeSampler::for_spec(spec, 3);
-    let elapsed;
-    if is_baseline {
+    let elapsed = if is_baseline {
         let mut model = tgl_baseline::BaselineTgat::new(&ctx, cfg, 5);
-        elapsed = run_inference(&mut model, &ctx, &g, &split, &mut negs);
+        run_inference(&mut model, &ctx, &g, &split, &mut negs)
     } else {
         let mut model = Tgat::new(&ctx, cfg, opts, 5);
         model.set_training(false);
-        elapsed = run_inference(&mut model, &ctx, &g, &split, &mut negs);
-    }
+        run_inference(&mut model, &ctx, &g, &split, &mut negs)
+    };
     tgl_device::set_transfer_model(TransferModel::disabled());
     elapsed
 }

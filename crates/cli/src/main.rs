@@ -19,7 +19,7 @@ use tgl_data::{generate, save_csv, temporal_stats, DatasetKind, DatasetSpec, Spl
 use tgl_device::{Device, TransferModel};
 use tgl_harness::runner::build_model;
 use tgl_harness::{Framework, MetricLog, ModelKind, TrainConfig, Trainer};
-use tgl_models::{ModelConfig, TemporalModel};
+use tgl_models::ModelConfig;
 use tglite::TContext;
 
 const HELP: &str = "\

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tgl_runtime::sync::Mutex;
 use tgl_device::{Device, PinnedPool};
 use tgl_graph::{NodeId, TemporalGraph, Time};
 

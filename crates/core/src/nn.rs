@@ -1,6 +1,6 @@
 //! Domain-specific neural modules provided by TGLite.
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 use tgl_tensor::nn::Module;
 use tgl_tensor::Tensor;
 
@@ -14,7 +14,7 @@ use tgl_tensor::Tensor;
 /// # Examples
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use tgl_runtime::rng::{SeedableRng, StdRng};
 /// use tglite::nn::TimeEncode;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
@@ -85,8 +85,8 @@ impl Module for TimeEncode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
     use tgl_tensor::nn::Module;
 
     fn enc(dim: usize) -> TimeEncode {

@@ -86,10 +86,8 @@ pub fn cache(ctx: &TContext, blk: &TBlock) -> TBlock {
         cache_handle.store(layer, &miss_nodes, &miss_times, &out);
         let width = if out.rank() >= 2 {
             out.dim(1)
-        } else if num_hits > 0 {
-            cached_flat.len() / num_hits
         } else {
-            0
+            cached_flat.len().checked_div(num_hits).unwrap_or(0)
         };
         debug_assert_eq!(
             cached_flat.len(),

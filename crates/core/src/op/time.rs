@@ -77,8 +77,8 @@ pub fn precomputed_times(ctx: &TContext, encoder: &TimeEncode, deltas: &[f32]) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
     use std::sync::Arc;
     use tgl_graph::TemporalGraph;
 

@@ -79,7 +79,7 @@ pub fn add(name: &'static str, d: Duration) {
 /// sorted by descending duration.
 pub fn take() -> Vec<(&'static str, Duration)> {
     let mut v: Vec<_> = PHASES.with(|p| p.borrow_mut().drain().collect());
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|e| std::cmp::Reverse(e.1));
     v
 }
 

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::{Rng, SeedableRng};
 use tgl_graph::{NodeId, TemporalGraph, Time};
 use tgl_tensor::Tensor;
 
@@ -163,8 +163,8 @@ pub fn generate(spec: &DatasetSpec) -> (Arc<TemporalGraph>, DatasetStats) {
         .collect();
     let mut nfeat = Vec::with_capacity(n_nodes * spec.d_node);
     for c in clusters.iter().take(n_nodes) {
-        for j in 0..spec.d_node {
-            nfeat.push(centroids[*c][j] + rng.gen_range(-0.3f32..0.3));
+        for &cj in centroids[*c].iter().take(spec.d_node) {
+            nfeat.push(cj + rng.gen_range(-0.3f32..0.3));
         }
     }
     graph.set_node_feats(Tensor::from_vec(nfeat, [n_nodes, spec.d_node]));

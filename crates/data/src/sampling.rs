@@ -1,7 +1,7 @@
 //! Negative edge sampling for link-prediction training.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::{Rng, SeedableRng};
 use tgl_graph::NodeId;
 
 /// Draws negative destination nodes uniformly from the destination

@@ -1,9 +1,7 @@
 //! Dataset specifications mirroring the paper's Table 3 shapes.
 
-use serde::{Deserialize, Serialize};
-
 /// Which of the paper's six benchmark datasets a spec models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Wikipedia user–page edits (bipartite, high repetition).
     Wiki,
@@ -61,7 +59,7 @@ impl DatasetKind {
 /// The `spec(kind, scale)` constructor reproduces the paper's Table 3
 /// shapes divided by `scale` (features divided by a milder factor so
 /// that models keep meaningful capacity).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Which paper dataset this models.
     pub kind: DatasetKind,
@@ -111,7 +109,7 @@ impl DatasetSpec {
                 zipf_s: 1.1,
                 n_clusters: 8,
                 time_quantum: 0.0,
-                seed: 0x5157_1,
+                seed: 0x0005_1571,
             },
             // MOOC: 7144 nodes / 412k edges / d=128
             DatasetKind::Mooc => DatasetSpec {
@@ -126,7 +124,7 @@ impl DatasetSpec {
                 zipf_s: 1.2,
                 n_clusters: 6,
                 time_quantum: 0.0,
-                seed: 0x300c_2,
+                seed: 0x0003_00c2,
             },
             // Reddit: 10984 nodes / 672k edges / d=172
             DatasetKind::Reddit => DatasetSpec {
@@ -141,7 +139,7 @@ impl DatasetSpec {
                 zipf_s: 1.15,
                 n_clusters: 10,
                 time_quantum: 0.0,
-                seed: 0x8edd_3,
+                seed: 0x0008_edd3,
             },
             // LastFM: 1980 nodes / 1.29M edges / d=128 / max_t 1.4e8
             DatasetKind::Lastfm => DatasetSpec {
@@ -156,7 +154,7 @@ impl DatasetSpec {
                 zipf_s: 1.05,
                 n_clusters: 5,
                 time_quantum: 0.0,
-                seed: 0x1a5f_4,
+                seed: 0x0001_a5f4,
             },
             // WikiTalk: 1.14M nodes / 7.8M edges / d=128 / max_t 1.2e9
             DatasetKind::WikiTalk => DatasetSpec {
@@ -171,7 +169,7 @@ impl DatasetSpec {
                 zipf_s: 1.3,
                 n_clusters: 12,
                 time_quantum: 0.0,
-                seed: 0x717a_5,
+                seed: 0x0007_17a5,
             },
             // GDELT: 16682 nodes / 191M edges / d_v=413, d_e=186 /
             // max_t 1.8e5 (two orders of magnitude more edges than
@@ -188,7 +186,7 @@ impl DatasetSpec {
                 zipf_s: 1.1,
                 n_clusters: 15,
                 time_quantum: 900.0,
-                seed: 0x9de1_6,
+                seed: 0x0009_de16,
             },
         }
     }
@@ -216,6 +214,122 @@ impl DatasetSpec {
     pub fn num_nodes(&self) -> usize {
         self.n_src + self.n_items
     }
+
+    /// Serializes the spec as a single JSON object.
+    ///
+    /// Hand-rolled (no serde in the workspace): every field is a number
+    /// except `kind`, which is the variant name as a string. Floats are
+    /// written with enough precision to round-trip exactly.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"{}\",\"n_src\":{},\"n_items\":{},\"n_edges\":{},",
+                "\"d_node\":{},\"d_edge\":{},\"max_t\":{:?},\"repeat_prob\":{:?},",
+                "\"zipf_s\":{:?},\"n_clusters\":{},\"time_quantum\":{:?},\"seed\":{}}}"
+            ),
+            self.kind.variant_name(),
+            self.n_src,
+            self.n_items,
+            self.n_edges,
+            self.d_node,
+            self.d_edge,
+            self.max_t,
+            self.repeat_prob,
+            self.zipf_s,
+            self.n_clusters,
+            self.time_quantum,
+            self.seed,
+        )
+    }
+
+    /// Parses a spec from the JSON produced by [`DatasetSpec::to_json`]
+    /// (key order and insignificant whitespace are flexible).
+    pub fn from_json(text: &str) -> Result<DatasetSpec, String> {
+        let fields = parse_flat_object(text)?;
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let usize_of = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse()
+                .map_err(|e| format!("field `{key}`: {e}"))
+        };
+        let f64_of = |key: &str| -> Result<f64, String> {
+            get(key)?
+                .parse()
+                .map_err(|e| format!("field `{key}`: {e}"))
+        };
+        Ok(DatasetSpec {
+            kind: DatasetKind::from_variant_name(get("kind")?)?,
+            n_src: usize_of("n_src")?,
+            n_items: usize_of("n_items")?,
+            n_edges: usize_of("n_edges")?,
+            d_node: usize_of("d_node")?,
+            d_edge: usize_of("d_edge")?,
+            max_t: f64_of("max_t")?,
+            repeat_prob: f64_of("repeat_prob")?,
+            zipf_s: f64_of("zipf_s")?,
+            n_clusters: usize_of("n_clusters")?,
+            time_quantum: f64_of("time_quantum")?,
+            seed: get("seed")?
+                .parse()
+                .map_err(|e| format!("field `seed`: {e}"))?,
+        })
+    }
+}
+
+impl DatasetKind {
+    /// The enum variant identifier used in JSON (`Wiki`, `Mooc`, ...).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            DatasetKind::Wiki => "Wiki",
+            DatasetKind::Mooc => "Mooc",
+            DatasetKind::Reddit => "Reddit",
+            DatasetKind::Lastfm => "Lastfm",
+            DatasetKind::WikiTalk => "WikiTalk",
+            DatasetKind::Gdelt => "Gdelt",
+        }
+    }
+
+    /// Inverse of [`DatasetKind::variant_name`].
+    pub fn from_variant_name(name: &str) -> Result<DatasetKind, String> {
+        DatasetKind::all()
+            .into_iter()
+            .find(|k| k.variant_name() == name)
+            .ok_or_else(|| format!("unknown dataset kind `{name}`"))
+    }
+}
+
+/// Splits a flat (non-nested) JSON object into `(key, raw value)` pairs.
+/// Values keep their text form; string quotes are stripped. Enough JSON
+/// for [`DatasetSpec`] — rejects nesting rather than mis-parsing it.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, String)>, String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("expected a JSON object")?;
+    let mut fields = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("expected `key: value`, got `{part}`"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if value.starts_with('{') || value.starts_with('[') {
+            return Err(format!("field `{key}`: nested values are not supported"));
+        }
+        fields.push((key, value.trim_matches('"').to_string()));
+    }
+    Ok(fields)
 }
 
 #[cfg(test)]
@@ -271,6 +385,35 @@ mod tests {
         assert!(DatasetSpec::of(DatasetKind::Wiki).bipartite());
         assert!(!DatasetSpec::of(DatasetKind::WikiTalk).bipartite());
         assert!(!DatasetSpec::of(DatasetKind::Gdelt).bipartite());
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        for kind in DatasetKind::all() {
+            let spec = DatasetSpec::of(kind);
+            let json = spec.to_json();
+            let back = DatasetSpec::from_json(&json).expect("parse");
+            assert_eq!(spec, back, "round-trip for {kind:?}: {json}");
+        }
+    }
+
+    #[test]
+    fn json_parse_tolerates_whitespace_and_order() {
+        let text = r#"{ "seed": 9, "kind": "Mooc", "n_src": 1, "n_items": 2,
+            "n_edges": 3, "d_node": 4, "d_edge": 5, "max_t": 6.5,
+            "repeat_prob": 0.5, "zipf_s": 1.5, "n_clusters": 7,
+            "time_quantum": 0.0 }"#;
+        let spec = DatasetSpec::from_json(text).expect("parse");
+        assert_eq!(spec.kind, DatasetKind::Mooc);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.max_t, 6.5);
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(DatasetSpec::from_json("not json").is_err());
+        assert!(DatasetSpec::from_json("{}").is_err());
+        assert!(DatasetSpec::from_json("{\"kind\":\"Nope\"}").is_err());
     }
 
     #[test]

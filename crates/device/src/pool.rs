@@ -8,7 +8,7 @@
 //! "TGLite manages a pool of pre-allocated pinned memory so no manual
 //! user intervention is required".
 
-use parking_lot::Mutex;
+use tgl_runtime::sync::Mutex;
 
 use crate::transfer::TransferKind;
 

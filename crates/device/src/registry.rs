@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use tgl_runtime::sync::Mutex;
 
 use crate::Device;
 

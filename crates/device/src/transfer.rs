@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use tgl_runtime::sync::RwLock;
 
 /// Direction and pinning of a simulated transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use tgl_runtime::sync::RwLock;
 use tgl_device::Device;
 use tgl_tensor::Tensor;
 

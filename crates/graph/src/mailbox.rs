@@ -5,7 +5,7 @@
 //! §2 "Model Training"). TGN/JODIE use one slot per node; APAN keeps a
 //! mailbox of size 10 and attends over the stored mails.
 
-use parking_lot::RwLock;
+use tgl_runtime::sync::RwLock;
 use tgl_device::Device;
 use tgl_tensor::Tensor;
 

@@ -1,6 +1,6 @@
 //! Node memory: per-node state vectors with last-update timestamps.
 
-use parking_lot::RwLock;
+use tgl_runtime::sync::RwLock;
 use tgl_device::Device;
 use tgl_tensor::Tensor;
 

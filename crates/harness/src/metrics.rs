@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn random_scores_near_half() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use tgl_runtime::rng::{Rng, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(0);
         let pos: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let neg: Vec<f32> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();

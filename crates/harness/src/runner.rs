@@ -164,6 +164,9 @@ pub struct ExperimentResult {
     pub test_s: f64,
     /// Peak simulated device-memory bytes observed.
     pub peak_device_bytes: u64,
+    /// Worker threads the compute pool ran with (run metadata; see
+    /// `TGL_THREADS`).
+    pub threads: usize,
 }
 
 /// Builds the model for a framework/kind pair on an existing context.
@@ -280,6 +283,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         test_ap,
         test_s,
         peak_device_bytes: peak,
+        threads: tgl_runtime::current_threads(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! APAN: asynchronous propagation attention network (paper Listing 6).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_graph::NodeId;
 use tgl_sampler::SamplingStrategy;
 use tgl_tensor::nn::{GruCell, Linear, Mlp, Module};

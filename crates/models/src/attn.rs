@@ -1,7 +1,7 @@
 //! Temporal multi-head self-attention layer (paper Listing 2 /
 //! Eqs. 4–7), expressed with TGLite's edge-wise block operators.
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 use tgl_device::Device;
 use tgl_tensor::nn::{Linear, Mlp, Module};
 use tgl_tensor::ops::cat;
@@ -45,7 +45,7 @@ impl TemporalAttnLayer {
         heads: usize,
         rng: &mut impl Rng,
     ) -> TemporalAttnLayer {
-        assert!(dim_out % heads == 0, "dim_out must be divisible by heads");
+        assert!(dim_out.is_multiple_of(heads), "dim_out must be divisible by heads");
         let head_dim = dim_out / heads;
         TemporalAttnLayer {
             w_q: Linear::new(dim_node + dim_time, heads * head_dim, rng),
@@ -153,8 +153,8 @@ impl Module for TemporalAttnLayer {
 mod tests {
     use super::*;
     use crate::testutil::{ctx_for, small_graph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
     use tgl_sampler::SamplingStrategy;
     use tglite::{TBlock, TSampler};
 

@@ -1,7 +1,7 @@
 //! JODIE: RNN memory with time-projected embeddings (paper Listing 5).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_graph::NodeId;
 use tgl_tensor::nn::{Linear, Module, RnnCell};
 use tgl_tensor::ops::cat;

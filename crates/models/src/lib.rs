@@ -198,8 +198,8 @@ pub(crate) mod testutil {
 
     use std::sync::Arc;
 
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::{Rng, SeedableRng};
     use tglite::tensor::Tensor;
     use tglite::{TBatch, TContext, TGraph};
 

@@ -1,6 +1,6 @@
 //! Link-prediction head shared by all four models.
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 use tgl_device::Device;
 use tgl_tensor::nn::{Linear, Module};
 use tgl_tensor::Tensor;
@@ -55,8 +55,8 @@ impl Module for EdgePredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn output_is_flat_logits() {

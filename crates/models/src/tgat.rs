@@ -1,7 +1,7 @@
 //! TGAT: temporal graph attention network (paper Listing 2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_sampler::SamplingStrategy;
 use tgl_tensor::nn::Module;
 use tgl_tensor::Tensor;

@@ -1,8 +1,8 @@
 //! TGN: temporal graph network with GRU node memory (paper §4,
 //! Listing 4).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_graph::NodeId;
 use tgl_sampler::SamplingStrategy;
 use tgl_tensor::nn::{GruCell, Linear, Module};

@@ -1,0 +1,177 @@
+//! Thin wrappers over `std::sync` locks.
+//!
+//! In-tree replacement for the `parking_lot` surface the workspace
+//! uses: `lock()` / `read()` / `write()` return guards directly instead
+//! of `Result`s. A poisoned lock (a thread panicked while holding it)
+//! is entered anyway — every protected value in this workspace is
+//! plain data that stays structurally valid across a panic, and the
+//! panic itself already propagates through the pool or test harness.
+
+use std::fmt;
+use std::sync::PoisonError;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock whose `lock()` never returns a `Result`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex. Usable in `static` initializers.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A reader-writer lock whose `read()` / `write()` never return `Result`s.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock. Usable in `static` initializers.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_and_const_init() {
+        static COUNTER: Mutex<i32> = Mutex::new(0);
+        *COUNTER.lock() += 5;
+        assert_eq!(*COUNTER.lock(), 5);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let lock = RwLock::new(vec![1, 2, 3]);
+        {
+            let a = lock.read();
+            let b = lock.read();
+            assert_eq!(a.len() + b.len(), 6);
+        }
+        lock.write().push(4);
+        assert_eq!(*lock.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_still_usable() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(*m.try_lock().expect("free lock"), 7);
+    }
+
+    #[test]
+    fn poisoned_rwlock_is_still_usable() {
+        let l = Arc::new(RwLock::new(1));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+}

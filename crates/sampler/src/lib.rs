@@ -8,9 +8,13 @@
 //! constraint of `N(i, t)` in the paper's message-passing equations —
 //! by binary search over the time-sorted T-CSR.
 //!
-//! Work is split over destination chunks with crossbeam scoped threads
-//! (the paper uses 32/64 sampler threads on its two machines; the
-//! thread count is configurable here).
+//! Each destination samples independently, so the batch is
+//! embarrassingly parallel: work is split over destination chunks on
+//! the `tgl-runtime` thread pool (the paper uses 32/64 sampler threads
+//! on its two machines; here the count follows `TGL_THREADS`). Uniform
+//! sampling seeds one RNG stream per destination from the sampler seed
+//! and the destination's batch position, so results are bitwise
+//! identical for any thread count or chunk layout.
 //!
 //! # Examples
 //!
@@ -26,10 +30,14 @@
 //! assert_eq!(s.src_times, vec![2.0, 3.0]);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tgl_runtime::rng::{Rng, SeedableRng, StdRng};
+use tgl_runtime::{parallel_for, UnsafeSlice};
 
 use tgl_graph::{EdgeId, NodeId, TCsr, Time};
+
+/// Batches smaller than this sample inline on the caller; dispatching
+/// to the pool costs more than the sampling itself.
+const SEQ_DST_THRESHOLD: usize = 64;
 
 /// Neighbor selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -70,13 +78,6 @@ impl NeighborSample {
     pub fn is_empty(&self) -> bool {
         self.src_nodes.is_empty()
     }
-
-    fn append(&mut self, other: NeighborSample) {
-        self.src_nodes.extend(other.src_nodes);
-        self.src_times.extend(other.src_times);
-        self.eids.extend(other.eids);
-        self.dst_index.extend(other.dst_index);
-    }
 }
 
 /// A configured temporal neighborhood sampler.
@@ -109,7 +110,10 @@ impl TemporalSampler {
         self
     }
 
-    /// Sets the worker thread count (1 = sequential).
+    /// Sets the threading mode: 1 forces sequential sampling on the
+    /// caller; anything larger uses the `tgl-runtime` pool (whose
+    /// actual width follows `TGL_THREADS`). Output is bitwise identical
+    /// either way.
     pub fn with_threads(mut self, threads: usize) -> TemporalSampler {
         self.threads = threads.max(1);
         self
@@ -146,104 +150,147 @@ impl TemporalSampler {
         if n == 0 {
             return NeighborSample::default();
         }
-        let threads = self.threads.min(n);
-        if threads <= 1 {
-            return self.sample_chunk(csr, dst_nodes, dst_times, 0, 0);
+
+        // Pass 1: how many edges each destination contributes, so each
+        // destination's rows land at an exact offset in pass 2.
+        let mut counts = vec![0usize; n];
+        {
+            let counts = UnsafeSlice::new(&mut counts);
+            self.for_each_dst(n, &|range: std::ops::Range<usize>| {
+                for i in range {
+                    let (nbrs, _, _) = self.candidates(csr, dst_nodes[i], dst_times[i]);
+                    // SAFETY: destinations partition the index space, so
+                    // each `i` is written by exactly one chunk.
+                    unsafe { *counts.get_mut(i) = nbrs.len().min(self.k) };
+                }
+            });
         }
-        let chunk = n.div_ceil(threads);
-        let mut partials: Vec<NeighborSample> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, (nodes, times)) in dst_nodes
-                .chunks(chunk)
-                .zip(dst_times.chunks(chunk))
-                .enumerate()
-            {
-                handles.push(scope.spawn(move |_| {
-                    self.sample_chunk(csr, nodes, times, ci * chunk, ci as u64)
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("sampler thread panicked"));
-            }
-        })
-        .expect("sampler scope");
-        let mut out = NeighborSample::default();
-        for p in partials {
-            out.append(p);
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let total = offsets[n];
+
+        // Pass 2: every destination fills its own disjoint output rows.
+        let mut out = NeighborSample {
+            src_nodes: vec![NodeId::default(); total],
+            src_times: vec![Time::default(); total],
+            eids: vec![EdgeId::default(); total],
+            dst_index: vec![0usize; total],
+        };
+        {
+            let src_nodes = UnsafeSlice::new(&mut out.src_nodes);
+            let src_times = UnsafeSlice::new(&mut out.src_times);
+            let eids_out = UnsafeSlice::new(&mut out.eids);
+            let dst_index = UnsafeSlice::new(&mut out.dst_index);
+            let offsets = &offsets;
+            self.for_each_dst(n, &|range: std::ops::Range<usize>| {
+                for i in range {
+                    let take = offsets[i + 1] - offsets[i];
+                    if take == 0 {
+                        continue;
+                    }
+                    // SAFETY: [offsets[i], offsets[i+1]) ranges are
+                    // disjoint across destinations.
+                    let (sn, st, se, sd) = unsafe {
+                        (
+                            src_nodes.slice_mut(offsets[i], take),
+                            src_times.slice_mut(offsets[i], take),
+                            eids_out.slice_mut(offsets[i], take),
+                            dst_index.slice_mut(offsets[i], take),
+                        )
+                    };
+                    self.sample_one(csr, dst_nodes[i], dst_times[i], i, sn, st, se, sd);
+                }
+            });
         }
         out
     }
 
-    fn sample_chunk(
+    /// Runs `f` over `0..n` — inline when configured sequential, else
+    /// chunked on the pool. Kernels are written so either path produces
+    /// bitwise-identical output.
+    fn for_each_dst(&self, n: usize, f: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+        if self.threads <= 1 {
+            f(0..n);
+        } else {
+            parallel_for(n, SEQ_DST_THRESHOLD, f);
+        }
+    }
+
+    /// The time-eligible neighbor slices for one `(node, t)` query,
+    /// after applying the optional window.
+    fn candidates<'a>(
+        &self,
+        csr: &'a TCsr,
+        node: NodeId,
+        t: Time,
+    ) -> (&'a [NodeId], &'a [EdgeId], &'a [Time]) {
+        let (mut nbrs, mut eids, mut etimes) = csr.neighbors_before(node, t);
+        if let Some(w) = self.window {
+            // Entries are time-sorted; drop the too-old prefix.
+            let cut = etimes.partition_point(|&et| et < t - w);
+            nbrs = &nbrs[cut..];
+            eids = &eids[cut..];
+            etimes = &etimes[cut..];
+        }
+        (nbrs, eids, etimes)
+    }
+
+    /// Samples one destination's neighbors into its output rows.
+    ///
+    /// Uniform draws use an RNG seeded from `(sampler seed, dst)` so the
+    /// stream is a function of the destination alone — not of which
+    /// thread or chunk processed it.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_one(
         &self,
         csr: &TCsr,
-        nodes: &[NodeId],
-        times: &[Time],
-        base_index: usize,
-        chunk_id: u64,
-    ) -> NeighborSample {
-        let mut out = NeighborSample {
-            src_nodes: Vec::with_capacity(nodes.len() * self.k),
-            src_times: Vec::with_capacity(nodes.len() * self.k),
-            eids: Vec::with_capacity(nodes.len() * self.k),
-            dst_index: Vec::with_capacity(nodes.len() * self.k),
-        };
-        // Deterministic per (seed, chunk): uniform sampling does not
-        // depend on thread scheduling.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ chunk_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        for (i, (&node, &t)) in nodes.iter().zip(times).enumerate() {
-            let (mut nbrs, mut eids, mut etimes) = csr.neighbors_before(node, t);
-            if let Some(w) = self.window {
-                // Entries are time-sorted; drop the too-old prefix.
-                let cut = etimes.partition_point(|&et| et < t - w);
-                nbrs = &nbrs[cut..];
-                eids = &eids[cut..];
-                etimes = &etimes[cut..];
+        node: NodeId,
+        t: Time,
+        dst: usize,
+        sn: &mut [NodeId],
+        st: &mut [Time],
+        se: &mut [EdgeId],
+        sd: &mut [usize],
+    ) {
+        let (nbrs, eids, etimes) = self.candidates(csr, node, t);
+        let avail = nbrs.len();
+        let take = sn.len();
+        sd.fill(dst);
+        match self.strategy {
+            SamplingStrategy::Recent => {
+                let start = avail - take;
+                sn.copy_from_slice(&nbrs[start..]);
+                st.copy_from_slice(&etimes[start..]);
+                se.copy_from_slice(&eids[start..]);
             }
-            let avail = nbrs.len();
-            if avail == 0 {
-                continue;
-            }
-            let dst = base_index + i;
-            match self.strategy {
-                SamplingStrategy::Recent => {
-                    let start = avail.saturating_sub(self.k);
-                    for j in start..avail {
-                        out.src_nodes.push(nbrs[j]);
-                        out.src_times.push(etimes[j]);
-                        out.eids.push(eids[j]);
-                        out.dst_index.push(dst);
-                    }
-                }
-                SamplingStrategy::Uniform => {
-                    if avail <= self.k {
-                        for j in 0..avail {
-                            out.src_nodes.push(nbrs[j]);
-                            out.src_times.push(etimes[j]);
-                            out.eids.push(eids[j]);
-                            out.dst_index.push(dst);
-                        }
-                    } else {
-                        // Partial Fisher–Yates over [0, avail): k draws
-                        // without replacement in O(k) extra space.
-                        let mut swapped: std::collections::HashMap<usize, usize> =
-                            std::collections::HashMap::with_capacity(self.k * 2);
-                        for draw in 0..self.k {
-                            let r = rng.gen_range(draw..avail);
-                            let pick = *swapped.get(&r).unwrap_or(&r);
-                            let dv = *swapped.get(&draw).unwrap_or(&draw);
-                            swapped.insert(r, dv);
-                            out.src_nodes.push(nbrs[pick]);
-                            out.src_times.push(etimes[pick]);
-                            out.eids.push(eids[pick]);
-                            out.dst_index.push(dst);
-                        }
+            SamplingStrategy::Uniform => {
+                if avail <= self.k {
+                    sn.copy_from_slice(nbrs);
+                    st.copy_from_slice(etimes);
+                    se.copy_from_slice(eids);
+                } else {
+                    let mut rng = StdRng::seed_from_u64(
+                        self.seed
+                            .wrapping_add((dst as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    // Partial Fisher–Yates over [0, avail): k draws
+                    // without replacement in O(k) extra space.
+                    let mut swapped: std::collections::HashMap<usize, usize> =
+                        std::collections::HashMap::with_capacity(self.k * 2);
+                    for draw in 0..take {
+                        let r = rng.gen_range(draw..avail);
+                        let pick = *swapped.get(&r).unwrap_or(&r);
+                        let dv = *swapped.get(&draw).unwrap_or(&draw);
+                        swapped.insert(r, dv);
+                        sn[draw] = nbrs[pick];
+                        st[draw] = etimes[pick];
+                        se[draw] = eids[pick];
                     }
                 }
             }
         }
-        out
     }
 }
 
@@ -336,6 +383,22 @@ mod tests {
             .sample(&g.tcsr(), &dsts, &times);
         let par = TemporalSampler::new(2, SamplingStrategy::Recent)
             .with_threads(4)
+            .sample(&g.tcsr(), &dsts, &times);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn uniform_parallel_matches_sequential() {
+        let g = star();
+        let dsts: Vec<NodeId> = (0..6).cycle().take(500).collect();
+        let times: Vec<Time> = (0..500).map(|i| 1.0 + (i % 7) as Time).collect();
+        let seq = TemporalSampler::new(2, SamplingStrategy::Uniform)
+            .with_seed(5)
+            .with_threads(1)
+            .sample(&g.tcsr(), &dsts, &times);
+        let par = TemporalSampler::new(2, SamplingStrategy::Uniform)
+            .with_seed(5)
+            .with_threads(8)
             .sample(&g.tcsr(), &dsts, &times);
         assert_eq!(seq, par);
     }

@@ -1,6 +1,6 @@
 //! Parameter initialization schemes.
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 
 use crate::{Shape, Tensor};
 
@@ -31,8 +31,8 @@ pub fn zeros_init(shape: impl Into<Shape>) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn xavier_within_bound() {

@@ -1,8 +1,8 @@
 //! Inverted dropout.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tgl_runtime::sync::Mutex;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::{Rng, SeedableRng};
 
 use crate::Tensor;
 

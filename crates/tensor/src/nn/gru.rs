@@ -1,6 +1,6 @@
 //! Gated recurrent unit cell (TGN's node-memory update function).
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 
 use crate::init::{xavier_uniform, zeros_init};
 use crate::nn::Module;
@@ -104,8 +104,8 @@ pub fn gru_forward_cat(cell: &GruCell, parts: &[Tensor], h: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn output_shape_and_range() {

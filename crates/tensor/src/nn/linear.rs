@@ -1,6 +1,6 @@
 //! Fully-connected affine layer.
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 
 use crate::init::{xavier_uniform, zeros_init};
 use crate::nn::Module;
@@ -82,8 +82,8 @@ impl Module for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn forward_shapes() {

@@ -1,6 +1,6 @@
 //! Small feed-forward networks (attention FFNs, edge predictors).
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 
 use crate::nn::{Linear, Module};
 use crate::Tensor;
@@ -51,8 +51,8 @@ impl Module for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn shapes_and_param_count() {

@@ -35,8 +35,8 @@ pub trait Module {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn num_parameters_counts_scalars() {

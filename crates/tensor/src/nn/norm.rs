@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn grads_reach_gamma_beta() {
         let ln = LayerNorm::new(3);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = <tgl_runtime::rng::StdRng as tgl_runtime::rng::SeedableRng>::seed_from_u64(0);
         let x = Tensor::randn([4, 3], &mut rng).requires_grad(true);
         ln.forward(&x).sum_all().backward();
         assert!(ln.gamma.grad().is_some());

@@ -1,6 +1,6 @@
 //! Vanilla RNN cell (JODIE's node-memory update function).
 
-use rand::Rng;
+use tgl_runtime::rng::Rng;
 
 use crate::init::{xavier_uniform, zeros_init};
 use crate::nn::Module;
@@ -69,8 +69,8 @@ impl Module for RnnCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn output_bounded_by_tanh() {

@@ -1,6 +1,8 @@
 //! Broadcasting elementwise binary operators.
 
-use crate::ops::same_device;
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
+use crate::ops::{same_device, ELEMWISE_SEQ};
 use crate::shape::Shape;
 use crate::Tensor;
 
@@ -78,7 +80,7 @@ fn broadcast_apply_general(a_dims: &[usize], b_dims: &[usize], mut f: impl FnMut
 fn binary_elementwise(
     a: &Tensor,
     b: &Tensor,
-    fwd: impl Fn(f32, f32) -> f32,
+    fwd: impl Fn(f32, f32) -> f32 + Sync,
     bwd: impl Fn(f32, f32, f32) -> (f32, f32) + Send + Sync + 'static,
 ) -> Tensor {
     let device = same_device(a, b);
@@ -89,13 +91,23 @@ fn binary_elementwise(
 
     let a_data = a.inner.storage.read();
     let b_data = b.inner.storage.read();
-    let mut out = Vec::with_capacity(out_shape.numel());
+    let mut out = vec![0.0f32; out_shape.numel()];
     if a.shape() == b.shape() {
-        // Fast path: identical shapes.
-        out.extend(a_data.iter().zip(b_data.iter()).map(|(&x, &y)| fwd(x, y)));
+        // Fast path: identical shapes — chunked across the pool.
+        let out_sl = UnsafeSlice::new(&mut out);
+        let (a_data, b_data, fwd) = (&a_data, &b_data, &fwd);
+        parallel_for(a_data.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+            // SAFETY: chunks partition the element space.
+            let o = unsafe { out_sl.slice_mut(r.start, r.len()) };
+            for (k, i) in r.enumerate() {
+                o[k] = fwd(a_data[i], b_data[i]);
+            }
+        });
     } else {
+        let mut oi = 0;
         broadcast_apply(a.dims(), b.dims(), |ai, bi| {
-            out.push(fwd(a_data[ai], b_data[bi]));
+            out[oi] = fwd(a_data[ai], b_data[bi]);
+            oi += 1;
         });
     }
     drop(a_data);
@@ -111,11 +123,20 @@ fn binary_elementwise(
         let mut ga = vec![0.0f32; a_n];
         let mut gb = vec![0.0f32; b_n];
         if same {
-            for i in 0..a_n {
-                let (da, db) = bwd(a_data[i], b_data[i], go[i]);
-                ga[i] += da;
-                gb[i] += db;
-            }
+            let ga_sl = UnsafeSlice::new(&mut ga);
+            let gb_sl = UnsafeSlice::new(&mut gb);
+            let (a_data, b_data, bwd) = (&a_data, &b_data, &bwd);
+            parallel_for(a_n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                // SAFETY: chunks partition the element space.
+                let (gar, gbr) = unsafe {
+                    (ga_sl.slice_mut(r.start, r.len()), gb_sl.slice_mut(r.start, r.len()))
+                };
+                for (k, i) in r.enumerate() {
+                    let (da, db) = bwd(a_data[i], b_data[i], go[i]);
+                    gar[k] = da;
+                    gbr[k] = db;
+                }
+            });
         } else {
             let mut oi = 0;
             broadcast_apply(&a_dims, &b_dims, |ai, bi| {

@@ -28,7 +28,7 @@ impl Tensor {
         out_dims[0] = idx.len();
         let idx_owned = idx.to_vec();
         let n = self.numel();
-        Tensor::make_result(out, out_dims, self.device(), &[self.clone()], move |go| {
+        Tensor::make_result(out, out_dims, self.device(), std::slice::from_ref(self), move |go| {
             let mut g = vec![0.0f32; n];
             for (k, &i) in idx_owned.iter().enumerate() {
                 for j in 0..row_len {

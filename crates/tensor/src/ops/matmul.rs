@@ -1,67 +1,148 @@
 //! Matrix multiplication (2-D and batched).
+//!
+//! The three 2-D kernels partition *output* rows across the
+//! `tgl-runtime` pool: each row's accumulation order is a function of
+//! the operands alone, so results are bitwise identical for any thread
+//! count. `bmm` partitions batches instead (nested kernel calls run
+//! inline on pool workers).
+
+use tgl_runtime::{parallel_for, UnsafeSlice};
 
 use crate::ops::same_device;
 use crate::Tensor;
+
+/// Multiply-add count below which a matmul runs inline on the caller;
+/// pool dispatch costs more than the arithmetic.
+const MM_SEQ_FLOPS: usize = 32 * 1024;
+
+/// Output rows (of `row_flops` multiply-adds each) per sequential-path
+/// threshold — feeds `parallel_for`'s element threshold.
+fn seq_rows(row_flops: usize) -> usize {
+    (MM_SEQ_FLOPS / row_flops.max(1)).max(1)
+}
+
+/// Cheap sparsity probe: samples up to 256 evenly spaced elements and
+/// reports whether more than half are exactly zero. The zero-skip
+/// branch in the `nn`/`tn` kernels only pays off on such operands; on
+/// dense data it costs a branch per inner-loop trip.
+fn mostly_zero(x: &[f32]) -> bool {
+    if x.is_empty() {
+        return false;
+    }
+    let step = (x.len() / 256).max(1);
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    let mut i = 0;
+    while i < x.len() {
+        total += 1;
+        if x[i] == 0.0 {
+            zeros += 1;
+        }
+        i += step;
+    }
+    zeros * 2 > total
+}
 
 /// C[m,n] += A[m,k] * B[k,n]
 pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     // i-k-j loop order keeps the inner loop streaming over contiguous
     // rows of B and C.
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aik * bj;
+    let sparse = mostly_zero(a);
+    let c = UnsafeSlice::new(c);
+    parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: chunks partition the row space, so these row ranges
+        // are disjoint.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        for (ri, i) in rows.enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
+            if sparse {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
+            } else {
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
             }
         }
-    }
+    });
 }
 
 /// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
 pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
-    for i in 0..m {
-        let a_row = &a[i * n..(i + 1) * n];
-        for j in 0..k {
-            let b_row = &b[j * n..(j + 1) * n];
-            // 4-way partial sums so the reduction can vectorize.
-            let mut acc = [0.0f32; 4];
-            let chunks = n / 4;
-            for q in 0..chunks {
-                let p = q * 4;
-                acc[0] += a_row[p] * b_row[p];
-                acc[1] += a_row[p + 1] * b_row[p + 1];
-                acc[2] += a_row[p + 2] * b_row[p + 2];
-                acc[3] += a_row[p + 3] * b_row[p + 3];
+    let c = UnsafeSlice::new(c);
+    parallel_for(m, seq_rows(n * k), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * k, rows.len() * k) };
+        for (ri, i) in rows.enumerate() {
+            let a_row = &a[i * n..(i + 1) * n];
+            for j in 0..k {
+                let b_row = &b[j * n..(j + 1) * n];
+                // 4-way partial sums so the reduction can vectorize.
+                let mut acc = [0.0f32; 4];
+                let chunks = n / 4;
+                for q in 0..chunks {
+                    let p = q * 4;
+                    acc[0] += a_row[p] * b_row[p];
+                    acc[1] += a_row[p + 1] * b_row[p + 1];
+                    acc[2] += a_row[p + 2] * b_row[p + 2];
+                    acc[3] += a_row[p + 3] * b_row[p + 3];
+                }
+                let mut tail = 0.0f32;
+                for p in chunks * 4..n {
+                    tail += a_row[p] * b_row[p];
+                }
+                c_rows[ri * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
             }
-            let mut tail = 0.0f32;
-            for p in chunks * 4..n {
-                tail += a_row[p] * b_row[p];
-            }
-            c[i * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
         }
-    }
+    });
 }
 
 /// C[k,n] += A[m,k]^T * B[m,n]  (i.e. Aᵀ · B)
+///
+/// Parallelized over output rows (columns of A): each `kk` accumulates
+/// over `i` in ascending order, matching the sequential kernel's
+/// floating-point order exactly.
 pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let b_row = &b[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[kk * n..(kk + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aik * bj;
+    let sparse = mostly_zero(a);
+    let c = UnsafeSlice::new(c);
+    parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        for (ri, kk) in rows.enumerate() {
+            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
+            if sparse {
+                for i in 0..m {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[i * n..(i + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
+            } else {
+                for i in 0..m {
+                    let aik = a[i * k + kk];
+                    let b_row = &b[i * n..(i + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
             }
         }
-    }
+    });
 }
 
 impl Tensor {
@@ -116,18 +197,23 @@ impl Tensor {
 
         let mut c = vec![0.0f32; bs * m * n];
         {
-        let a = self.inner.storage.read();
-        let b = other.inner.storage.read();
-        for i in 0..bs {
-            mm_nn(
-                &a[i * m * k..(i + 1) * m * k],
-                &b[i * k * n..(i + 1) * k * n],
-                &mut c[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+            let a = self.inner.storage.read();
+            let b = other.inner.storage.read();
+            let c_sl = UnsafeSlice::new(&mut c);
+            parallel_for(bs, seq_rows(m * k * n), |batches: std::ops::Range<usize>| {
+                for i in batches {
+                    // SAFETY: each batch owns its own output slice.
+                    let ci = unsafe { c_sl.slice_mut(i * m * n, m * n) };
+                    mm_nn(
+                        &a[i * m * k..(i + 1) * m * k],
+                        &b[i * k * n..(i + 1) * k * n],
+                        ci,
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
         }
 
         let (a_t, b_t) = (self.clone(), other.clone());
@@ -141,23 +227,36 @@ impl Tensor {
                 let b = b_t.inner.storage.read();
                 let mut ga = vec![0.0f32; bs * m * k];
                 let mut gb = vec![0.0f32; bs * k * n];
-                for i in 0..bs {
-                    mm_nt(
-                        &go[i * m * n..(i + 1) * m * n],
-                        &b[i * k * n..(i + 1) * k * n],
-                        &mut ga[i * m * k..(i + 1) * m * k],
-                        m,
-                        n,
-                        k,
-                    );
-                    mm_tn(
-                        &a[i * m * k..(i + 1) * m * k],
-                        &go[i * m * n..(i + 1) * m * n],
-                        &mut gb[i * k * n..(i + 1) * k * n],
-                        m,
-                        k,
-                        n,
-                    );
+                {
+                    let ga_sl = UnsafeSlice::new(&mut ga);
+                    let gb_sl = UnsafeSlice::new(&mut gb);
+                    parallel_for(bs, seq_rows(m * k * n), |batches: std::ops::Range<usize>| {
+                        for i in batches {
+                            // SAFETY: each batch owns its own gradient slices.
+                            let (gai, gbi) = unsafe {
+                                (
+                                    ga_sl.slice_mut(i * m * k, m * k),
+                                    gb_sl.slice_mut(i * k * n, k * n),
+                                )
+                            };
+                            mm_nt(
+                                &go[i * m * n..(i + 1) * m * n],
+                                &b[i * k * n..(i + 1) * k * n],
+                                gai,
+                                m,
+                                n,
+                                k,
+                            );
+                            mm_tn(
+                                &a[i * m * k..(i + 1) * m * k],
+                                &go[i * m * n..(i + 1) * m * n],
+                                gbi,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    });
                 }
                 vec![Some(ga), Some(gb)]
             },
@@ -220,6 +319,27 @@ mod tests {
         let a0 = Tensor::from_vec(a.to_vec()[..6].to_vec(), [2, 3]);
         let b0 = Tensor::from_vec(b.to_vec()[..6].to_vec(), [3, 2]);
         assert_close(&out.to_vec()[..4], &a0.matmul(&b0).to_vec(), 1e-5);
+    }
+
+    #[test]
+    fn large_matmul_matches_naive() {
+        // 70×60 @ 60×50 = 210k multiply-adds — large enough to cross
+        // the sequential threshold and exercise the pool.
+        let (m, k, n) = (70, 60, 50);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.01).collect();
+        let got = Tensor::from_vec(a.clone(), [m, k])
+            .matmul(&Tensor::from_vec(b.clone(), [k, n]))
+            .to_vec();
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    want[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        assert_close(&got, &want, 1e-4);
     }
 
     #[test]

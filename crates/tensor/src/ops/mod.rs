@@ -20,6 +20,16 @@ pub use segment::{segment_max, segment_mean, segment_softmax, segment_sum};
 use crate::Tensor;
 use tgl_device::Device;
 
+/// Elementwise kernels below this many elements run inline on the
+/// caller; pool dispatch costs more than the arithmetic.
+pub(crate) const ELEMWISE_SEQ: usize = 16 * 1024;
+
+/// Row count matching [`ELEMWISE_SEQ`] for kernels that partition rows
+/// of `row_elems` elements each (feeds `parallel_for`'s threshold).
+pub(crate) fn rows_threshold(row_elems: usize) -> usize {
+    (ELEMWISE_SEQ / row_elems.max(1)).max(1)
+}
+
 /// Asserts that two op operands live on the same device and returns it.
 pub(crate) fn same_device(a: &Tensor, b: &Tensor) -> Device {
     assert_eq!(

@@ -1,19 +1,45 @@
 //! Reduction operators (sum / mean / max, full or per-dimension).
 
+use tgl_runtime::{parallel_for, parallel_for_chunks, UnsafeSlice};
+
+use crate::ops::rows_threshold;
 use crate::shape::Shape;
 use crate::Tensor;
+
+/// Fixed-chunk size for whole-buffer sums. The chunk size is a function
+/// of nothing but this constant, and partials combine in chunk order,
+/// so rounding is identical for every thread count (within 1e-5 of a
+/// straight sequential sum).
+const SUM_CHUNK: usize = 8192;
+
+/// Sums a slice with fixed-size ordered chunks across the pool.
+fn sum_slice(data: &[f32]) -> f32 {
+    if data.len() <= SUM_CHUNK {
+        return data.iter().sum();
+    }
+    let n_chunks = data.len().div_ceil(SUM_CHUNK);
+    let mut partials = vec![0.0f32; n_chunks];
+    {
+        let p = UnsafeSlice::new(&mut partials);
+        parallel_for_chunks(data.len(), SUM_CHUNK, |ci, r| {
+            // SAFETY: one write per chunk index.
+            unsafe { *p.get_mut(ci) = data[r].iter().sum() };
+        });
+    }
+    partials.iter().sum()
+}
 
 impl Tensor {
     /// Sums all elements into a scalar tensor.
     pub fn sum_all(&self) -> Tensor {
-        let total: f32 = self.inner.storage.read().iter().sum();
+        let total: f32 = sum_slice(&self.inner.storage.read());
         let n = self.numel();
         let shape = self.shape().clone();
         Tensor::make_result(
             vec![total],
             Shape::scalar(),
             self.device(),
-            &[self.clone()],
+            std::slice::from_ref(self),
             move |go| {
                 let _ = &shape;
                 vec![Some(vec![go[0]; n])]
@@ -92,22 +118,33 @@ impl Tensor {
             ReduceKind::Max => vec![0usize; outer * inner],
             ReduceKind::Sum => Vec::new(),
         };
-        for o in 0..outer {
-            for m in 0..mid {
-                for i in 0..inner {
-                    let src = (o * mid + m) * inner + i;
-                    let dst = o * inner + i;
-                    match kind {
-                        ReduceKind::Sum => out[dst] += data[src],
-                        ReduceKind::Max => {
-                            if data[src] > out[dst] {
-                                out[dst] = data[src];
-                                argmax[dst] = m;
+        // Parallel over `outer`: each outer index owns its own output
+        // (and argmax) rows, and the m-then-i accumulation order per
+        // element matches the sequential loops exactly.
+        {
+            let out_sl = UnsafeSlice::new(&mut out);
+            let arg_sl = UnsafeSlice::new(&mut argmax);
+            let data = &data;
+            parallel_for(outer, rows_threshold(mid * inner), |os: std::ops::Range<usize>| {
+                for o in os {
+                    for m in 0..mid {
+                        for i in 0..inner {
+                            let src = (o * mid + m) * inner + i;
+                            let dst = o * inner + i;
+                            // SAFETY: `dst` ranges are disjoint across `o`.
+                            match kind {
+                                ReduceKind::Sum => unsafe { *out_sl.get_mut(dst) += data[src] },
+                                ReduceKind::Max => unsafe {
+                                    if data[src] > *out_sl.get_mut(dst) {
+                                        *out_sl.get_mut(dst) = data[src];
+                                        *arg_sl.get_mut(dst) = m;
+                                    }
+                                },
                             }
                         }
                     }
                 }
-            }
+            });
         }
         drop(data);
         let n = self.numel();
@@ -115,24 +152,31 @@ impl Tensor {
             out,
             out_shape,
             self.device(),
-            &[self.clone()],
+            std::slice::from_ref(self),
             move |go| {
                 let mut g = vec![0.0f32; n];
-                for o in 0..outer {
-                    for m in 0..mid {
-                        for i in 0..inner {
-                            let src = (o * mid + m) * inner + i;
-                            let dst = o * inner + i;
-                            match kind {
-                                ReduceKind::Sum => g[src] = go[dst],
-                                ReduceKind::Max => {
-                                    if argmax[dst] == m {
-                                        g[src] = go[dst];
+                {
+                    let g_sl = UnsafeSlice::new(&mut g);
+                    let (go, argmax) = (&go, &argmax);
+                    parallel_for(outer, rows_threshold(mid * inner), |os: std::ops::Range<usize>| {
+                        for o in os {
+                            for m in 0..mid {
+                                for i in 0..inner {
+                                    let src = (o * mid + m) * inner + i;
+                                    let dst = o * inner + i;
+                                    // SAFETY: `src` ranges are disjoint across `o`.
+                                    match kind {
+                                        ReduceKind::Sum => unsafe { *g_sl.get_mut(src) = go[dst] },
+                                        ReduceKind::Max => {
+                                            if argmax[dst] == m {
+                                                unsafe { *g_sl.get_mut(src) = go[dst] };
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
+                    });
                 }
                 vec![Some(g)]
             },

@@ -6,7 +6,52 @@
 //! segmented mean. Inputs are `[N, D]` row tensors plus a per-row
 //! segment id; segment ids need not be sorted.
 
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
 use crate::Tensor;
+
+/// Rows grouped by segment: `rows[starts[s]..starts[s + 1]]` lists the
+/// row indices of segment `s` in ascending order (counting sort, so the
+/// grouping is stable). Built sequentially in O(n); parallel kernels
+/// then own whole segments, which keeps per-segment accumulation in the
+/// same ascending-row floating-point order as the sequential loops.
+struct SegmentIndex {
+    starts: Vec<usize>,
+    rows: Vec<usize>,
+}
+
+impl SegmentIndex {
+    fn build(segments: &[usize], num_segments: usize) -> SegmentIndex {
+        let mut starts = vec![0usize; num_segments + 1];
+        for &s in segments {
+            starts[s + 1] += 1;
+        }
+        for s in 0..num_segments {
+            starts[s + 1] += starts[s];
+        }
+        let mut cursor = starts.clone();
+        let mut rows = vec![0usize; segments.len()];
+        for (i, &s) in segments.iter().enumerate() {
+            rows[cursor[s]] = i;
+            cursor[s] += 1;
+        }
+        SegmentIndex { starts, rows }
+    }
+
+    fn rows_of(&self, s: usize) -> &[usize] {
+        &self.rows[self.starts[s]..self.starts[s + 1]]
+    }
+}
+
+/// Segment batches below ~4096 total elements run inline — expressed as
+/// a `parallel_for` element threshold over the segment count.
+fn seg_seq_threshold(total_elems: usize, num_segments: usize) -> usize {
+    if total_elems <= 4096 {
+        num_segments
+    } else {
+        1
+    }
+}
 
 fn check_segments(values: &Tensor, segments: &[usize], num_segments: usize) -> (usize, usize) {
     assert!(values.rank() >= 1, "segment ops need rank >= 1 values");
@@ -48,25 +93,43 @@ fn check_segments(values: &Tensor, segments: &[usize], num_segments: usize) -> (
 /// ```
 pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let idx = SegmentIndex::build(segments, num_segments);
     let mut out = vec![0.0f32; num_segments * d];
     {
         let x = values.inner.storage.read();
-        for (i, &s) in segments.iter().enumerate() {
-            for j in 0..d {
-                out[s * d + j] += x[i * d + j];
-            }
-        }
+        let out_sl = UnsafeSlice::new(&mut out);
+        parallel_for(
+            num_segments,
+            seg_seq_threshold(n * d, num_segments),
+            |segs: std::ops::Range<usize>| {
+                // SAFETY: each segment owns its own output row.
+                let rows_out = unsafe { out_sl.slice_mut(segs.start * d, segs.len() * d) };
+                for (si, s) in segs.enumerate() {
+                    let orow = &mut rows_out[si * d..(si + 1) * d];
+                    for &i in idx.rows_of(s) {
+                        for j in 0..d {
+                            orow[j] += x[i * d + j];
+                        }
+                    }
+                }
+            },
+        );
     }
     let mut out_dims = values.dims().to_vec();
     out_dims[0] = num_segments;
     let seg = segments.to_vec();
-    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+    Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
+        // Gather: every input row copies its segment's gradient row.
         let mut g = vec![0.0f32; n * d];
-        for (i, &s) in seg.iter().enumerate() {
-            for j in 0..d {
-                g[i * d + j] = go[s * d + j];
+        let g_sl = UnsafeSlice::new(&mut g);
+        parallel_for(n, seg_seq_threshold(n * d, n), |rows: std::ops::Range<usize>| {
+            // SAFETY: disjoint row ranges per chunk.
+            let g_rows = unsafe { g_sl.slice_mut(rows.start * d, rows.len() * d) };
+            for (ri, i) in rows.enumerate() {
+                let s = seg[i];
+                g_rows[ri * d..(ri + 1) * d].copy_from_slice(&go[s * d..(s + 1) * d]);
             }
-        }
+        });
         vec![Some(g)]
     })
 }
@@ -78,25 +141,46 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
     for &s in segments {
         counts[s] += 1.0;
     }
+    let idx = SegmentIndex::build(segments, num_segments);
     let mut out = vec![0.0f32; num_segments * d];
     {
         let x = values.inner.storage.read();
-        for (i, &s) in segments.iter().enumerate() {
-            for j in 0..d {
-                out[s * d + j] += x[i * d + j] / counts[s];
-            }
-        }
+        let out_sl = UnsafeSlice::new(&mut out);
+        let counts = &counts;
+        parallel_for(
+            num_segments,
+            seg_seq_threshold(n * d, num_segments),
+            |segs: std::ops::Range<usize>| {
+                // SAFETY: each segment owns its own output row.
+                let rows_out = unsafe { out_sl.slice_mut(segs.start * d, segs.len() * d) };
+                for (si, s) in segs.enumerate() {
+                    let orow = &mut rows_out[si * d..(si + 1) * d];
+                    for &i in idx.rows_of(s) {
+                        for j in 0..d {
+                            orow[j] += x[i * d + j] / counts[s];
+                        }
+                    }
+                }
+            },
+        );
     }
     let mut out_dims = values.dims().to_vec();
     out_dims[0] = num_segments;
     let seg = segments.to_vec();
-    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+    Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
         let mut g = vec![0.0f32; n * d];
-        for (i, &s) in seg.iter().enumerate() {
-            for j in 0..d {
-                g[i * d + j] = go[s * d + j] / counts[s];
+        let g_sl = UnsafeSlice::new(&mut g);
+        let (seg, counts) = (&seg, &counts);
+        parallel_for(n, seg_seq_threshold(n * d, n), |rows: std::ops::Range<usize>| {
+            // SAFETY: disjoint row ranges per chunk.
+            let g_rows = unsafe { g_sl.slice_mut(rows.start * d, rows.len() * d) };
+            for (ri, i) in rows.enumerate() {
+                let s = seg[i];
+                for j in 0..d {
+                    g_rows[ri * d + j] = go[s * d + j] / counts[s];
+                }
             }
-        }
+        });
         vec![Some(g)]
     })
 }
@@ -125,7 +209,7 @@ pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> 
     }
     let mut out_dims = values.dims().to_vec();
     out_dims[0] = num_segments;
-    Tensor::make_result(out, out_dims, values.device(), &[values.clone()], move |go| {
+    Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
         let mut g = vec![0.0f32; n * d];
         for (sd, &i) in argmax.iter().enumerate() {
             if i != usize::MAX {
@@ -145,50 +229,74 @@ pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> 
 /// nothing; rows keep their position.
 pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
-    let x = values.inner.storage.read();
-    // Per (segment, column) max for stability.
-    let mut maxes = vec![f32::NEG_INFINITY; num_segments * d];
-    for (i, &s) in segments.iter().enumerate() {
-        for j in 0..d {
-            maxes[s * d + j] = maxes[s * d + j].max(x[i * d + j]);
-        }
-    }
-    let mut sums = vec![0.0f32; num_segments * d];
+    let idx = SegmentIndex::build(segments, num_segments);
     let mut y = vec![0.0f32; n * d];
-    for (i, &s) in segments.iter().enumerate() {
-        for j in 0..d {
-            let e = (x[i * d + j] - maxes[s * d + j]).exp();
-            y[i * d + j] = e;
-            sums[s * d + j] += e;
-        }
+    {
+        let x = values.inner.storage.read();
+        let y_sl = UnsafeSlice::new(&mut y);
+        let idx = &idx;
+        parallel_for(
+            num_segments,
+            seg_seq_threshold(n * d, num_segments),
+            |segs: std::ops::Range<usize>| {
+                for s in segs {
+                    let rows = idx.rows_of(s);
+                    for j in 0..d {
+                        // Per (segment, column) max for stability, then
+                        // exp and normalize — all over ascending rows.
+                        let mut mx = f32::NEG_INFINITY;
+                        for &i in rows {
+                            mx = mx.max(x[i * d + j]);
+                        }
+                        let mut sum = 0.0f32;
+                        for &i in rows {
+                            let e = (x[i * d + j] - mx).exp();
+                            // SAFETY: segments partition rows, so row
+                            // `i` is written by exactly one segment.
+                            unsafe { *y_sl.get_mut(i * d + j) = e };
+                            sum += e;
+                        }
+                        for &i in rows {
+                            unsafe { *y_sl.get_mut(i * d + j) /= sum };
+                        }
+                    }
+                }
+            },
+        );
     }
-    for (i, &s) in segments.iter().enumerate() {
-        for j in 0..d {
-            y[i * d + j] /= sums[s * d + j];
-        }
-    }
-    drop(x);
     let y_copy = y.clone();
-    let seg = segments.to_vec();
     Tensor::make_result(
         y,
         values.shape().clone(),
         values.device(),
-        &[values.clone()],
+        std::slice::from_ref(values),
         move |go| {
             // Per segment/column: dx_i = (go_i - Σ_k go_k y_k) * y_i
-            let mut dots = vec![0.0f32; num_segments * d];
-            for (i, &s) in seg.iter().enumerate() {
-                for j in 0..d {
-                    dots[s * d + j] += go[i * d + j] * y_copy[i * d + j];
-                }
-            }
             let mut g = vec![0.0f32; n * d];
-            for (i, &s) in seg.iter().enumerate() {
-                for j in 0..d {
-                    g[i * d + j] = (go[i * d + j] - dots[s * d + j]) * y_copy[i * d + j];
-                }
-            }
+            let g_sl = UnsafeSlice::new(&mut g);
+            let (idx, y_copy) = (&idx, &y_copy);
+            parallel_for(
+                num_segments,
+                seg_seq_threshold(n * d, num_segments),
+                |segs: std::ops::Range<usize>| {
+                    for s in segs {
+                        let rows = idx.rows_of(s);
+                        for j in 0..d {
+                            let mut dot = 0.0f32;
+                            for &i in rows {
+                                dot += go[i * d + j] * y_copy[i * d + j];
+                            }
+                            for &i in rows {
+                                // SAFETY: segments partition rows.
+                                unsafe {
+                                    *g_sl.get_mut(i * d + j) =
+                                        (go[i * d + j] - dot) * y_copy[i * d + j];
+                                }
+                            }
+                        }
+                    }
+                },
+            );
             vec![Some(g)]
         },
     )

@@ -6,7 +6,7 @@ use crate::shape::Shape;
 use crate::tensor::TensorInner;
 use crate::Tensor;
 
-use parking_lot::Mutex;
+use tgl_runtime::sync::Mutex;
 
 impl Tensor {
     /// Reinterprets the tensor with a new shape of equal element count.
@@ -39,7 +39,7 @@ impl Tensor {
             };
         }
         let data = self.to_vec();
-        Tensor::make_result(data, shape, self.device(), &[self.clone()], |go| {
+        Tensor::make_result(data, shape, self.device(), std::slice::from_ref(self), |go| {
             vec![Some(go.to_vec())]
         })
     }
@@ -79,7 +79,7 @@ impl Tensor {
                 out[j * m + i] = data[i * n + j];
             }
         }
-        Tensor::make_result(out, [n, m], self.device(), &[self.clone()], move |go| {
+        Tensor::make_result(out, [n, m], self.device(), std::slice::from_ref(self), move |go| {
             let mut g = vec![0.0f32; m * n];
             for j in 0..n {
                 for i in 0..m {

@@ -1,12 +1,17 @@
 //! Numerically-stable softmax over the last dimension.
 
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
+use crate::ops::rows_threshold;
 use crate::Tensor;
 
 impl Tensor {
     /// Softmax over the last dimension.
     ///
     /// Rows are processed independently with max-subtraction for
-    /// numerical stability.
+    /// numerical stability; row blocks are partitioned across the pool
+    /// (each row's arithmetic is self-contained, so results are
+    /// thread-count invariant).
     ///
     /// # Panics
     ///
@@ -17,18 +22,27 @@ impl Tensor {
         let rows = self.numel() / cols;
         let x = self.inner.storage.read();
         let mut y = vec![0.0f32; x.len()];
-        for r in 0..rows {
-            let row = &x[r * cols..(r + 1) * cols];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                y[r * cols + j] = e;
-                sum += e;
-            }
-            for j in 0..cols {
-                y[r * cols + j] /= sum;
-            }
+        {
+            let y_sl = UnsafeSlice::new(&mut y);
+            let x = &x;
+            parallel_for(rows, rows_threshold(cols), |rs: std::ops::Range<usize>| {
+                // SAFETY: row ranges are disjoint across chunks.
+                let out = unsafe { y_sl.slice_mut(rs.start * cols, rs.len() * cols) };
+                for (k, r) in rs.enumerate() {
+                    let row = &x[r * cols..(r + 1) * cols];
+                    let yrow = &mut out[k * cols..(k + 1) * cols];
+                    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for (o, &v) in yrow.iter_mut().zip(row) {
+                        let e = (v - m).exp();
+                        *o = e;
+                        sum += e;
+                    }
+                    for o in yrow.iter_mut() {
+                        *o /= sum;
+                    }
+                }
+            });
         }
         drop(x);
         let y_copy = y.clone();
@@ -36,16 +50,25 @@ impl Tensor {
             y,
             self.shape().clone(),
             self.device(),
-            &[self.clone()],
+            std::slice::from_ref(self),
             move |go| {
                 // dx = (go - sum(go*y)) * y, per row
                 let mut g = vec![0.0f32; y_copy.len()];
-                for r in 0..rows {
-                    let base = r * cols;
-                    let dot: f32 = (0..cols).map(|j| go[base + j] * y_copy[base + j]).sum();
-                    for j in 0..cols {
-                        g[base + j] = (go[base + j] - dot) * y_copy[base + j];
-                    }
+                {
+                    let g_sl = UnsafeSlice::new(&mut g);
+                    let (go, y_copy) = (&go, &y_copy);
+                    parallel_for(rows, rows_threshold(cols), |rs: std::ops::Range<usize>| {
+                        // SAFETY: row ranges are disjoint across chunks.
+                        let out = unsafe { g_sl.slice_mut(rs.start * cols, rs.len() * cols) };
+                        for (k, r) in rs.enumerate() {
+                            let base = r * cols;
+                            let dot: f32 =
+                                (0..cols).map(|j| go[base + j] * y_copy[base + j]).sum();
+                            for j in 0..cols {
+                                out[k * cols + j] = (go[base + j] - dot) * y_copy[base + j];
+                            }
+                        }
+                    });
                 }
                 vec![Some(g)]
             },

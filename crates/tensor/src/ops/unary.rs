@@ -1,30 +1,52 @@
 //! Elementwise unary and scalar operators.
 
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
+use crate::ops::ELEMWISE_SEQ;
 use crate::Tensor;
 
 /// Applies `fwd` elementwise; `bwd(x, y, go)` gives the input gradient
 /// for one element given input `x`, output `y`, and output grad `go`.
+/// Both passes chunk the element space across the pool; every element
+/// is computed independently, so output is thread-count invariant.
 fn unary_elementwise(
     input: &Tensor,
-    fwd: impl Fn(f32) -> f32,
+    fwd: impl Fn(f32) -> f32 + Sync,
     bwd: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
     let x = input.to_vec();
-    let y: Vec<f32> = x.iter().map(|&v| fwd(v)).collect();
+    let mut y = vec![0.0f32; x.len()];
+    {
+        let y_sl = UnsafeSlice::new(&mut y);
+        let (x, fwd) = (&x, &fwd);
+        parallel_for(x.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+            // SAFETY: chunks partition the element space.
+            let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
+            for (o, &v) in out.iter_mut().zip(&x[r]) {
+                *o = fwd(v);
+            }
+        });
+    }
     let y_copy = y.clone();
     Tensor::make_result(
         y,
         input.shape().clone(),
         input.device(),
-        &[input.clone()],
+        std::slice::from_ref(input),
         move |go| {
-            vec![Some(
-                x.iter()
-                    .zip(&y_copy)
-                    .zip(go)
-                    .map(|((&x, &y), &g)| bwd(x, y, g))
-                    .collect(),
-            )]
+            let mut g = vec![0.0f32; x.len()];
+            {
+                let g_sl = UnsafeSlice::new(&mut g);
+                let (x, y_copy, bwd) = (&x, &y_copy, &bwd);
+                parallel_for(x.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                    // SAFETY: chunks partition the element space.
+                    let out = unsafe { g_sl.slice_mut(r.start, r.len()) };
+                    for (k, i) in r.enumerate() {
+                        out[k] = bwd(x[i], y_copy[i], go[i]);
+                    }
+                });
+            }
+            vec![Some(g)]
         },
     )
 }

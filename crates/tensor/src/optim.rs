@@ -213,7 +213,7 @@ mod tests {
         let x = Tensor::from_vec(vec![3.0, 4.0], [2]).requires_grad(true);
         // grad = [3, 4] after d/dx of 0.5*x^2 summed
         x.mul(&x).mul_scalar(0.5).sum_all().backward();
-        let before = clip_grad_norm(&[x.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&x), 1.0);
         assert!((before - 5.0).abs() < 1e-4);
         let g = x.grad().unwrap();
         let norm: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -224,7 +224,7 @@ mod tests {
     fn clip_grad_norm_noop_when_small() {
         let x = Tensor::from_vec(vec![0.1], [1]).requires_grad(true);
         x.mul_scalar(1.0).sum_all().backward();
-        let before = clip_grad_norm(&[x.clone()], 10.0);
+        let before = clip_grad_norm(std::slice::from_ref(&x), 10.0);
         assert!((before - 1.0).abs() < 1e-5);
         assert_eq!(x.grad().unwrap(), vec![1.0], "untouched below max");
     }

@@ -98,8 +98,8 @@ pub fn load_params(params: &[Tensor], path: &Path) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("tgl-tensor-ckpt");
@@ -116,8 +116,8 @@ mod tests {
         let path = tmp("roundtrip.tglt");
         save_params(&[a.clone(), b.clone()], &path).unwrap();
         // Clobber, then restore.
-        a.copy_from_slice(&vec![0.0; 12]);
-        b.copy_from_slice(&vec![0.0; 5]);
+        a.copy_from_slice(&[0.0; 12]);
+        b.copy_from_slice(&[0.0; 5]);
         load_params(&[a.clone(), b.clone()], &path).unwrap();
         assert_eq!(a.to_vec(), va);
         assert_eq!(b.to_vec(), vb);

@@ -59,10 +59,10 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![0usize; rank];
-        for i in 0..rank {
+        for (i, o) in out.iter_mut().enumerate() {
             let a = dim_from_right(&self.0, rank - 1 - i);
             let b = dim_from_right(&other.0, rank - 1 - i);
-            out[i] = match (a, b) {
+            *o = match (a, b) {
                 (x, y) if x == y => x,
                 (1, y) => y,
                 (x, 1) => x,

@@ -1,6 +1,6 @@
 //! Device-tracked tensor storage.
 
-use parking_lot::RwLock;
+use tgl_runtime::sync::RwLock;
 use tgl_device::Device;
 
 use crate::tensor::DeviceOom;
@@ -42,11 +42,11 @@ impl Storage {
         self.device
     }
 
-    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Vec<f32>> {
+    pub fn read(&self) -> tgl_runtime::sync::RwLockReadGuard<'_, Vec<f32>> {
         self.data.read()
     }
 
-    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<f32>> {
+    pub fn write(&self) -> tgl_runtime::sync::RwLockWriteGuard<'_, Vec<f32>> {
         self.data.write()
     }
 }

@@ -5,8 +5,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::Rng;
+use tgl_runtime::sync::Mutex;
+use tgl_runtime::rng::Rng;
 use tgl_device::{Device, DeviceError, PinnedPool, TransferKind};
 
 use crate::autograd::{grad_enabled, Node};
@@ -430,8 +430,8 @@ impl fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tgl_runtime::rng::StdRng;
+    use tgl_runtime::rng::SeedableRng;
 
     #[test]
     fn from_vec_roundtrip() {

@@ -14,8 +14,8 @@
 //! L2-normalization) shows the user-facing side of the hooks
 //! mechanism.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::SeedableRng;
 use tgl_data::{generate, DatasetKind, DatasetSpec, NegativeSampler, Split};
 use tgl_harness::metrics::average_precision;
 use tgl_models::EdgePredictor;

@@ -12,8 +12,8 @@
 //! anomalous. This exercises the memory/mailbox machinery — the
 //! model's node state keeps advancing as events arrive.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tgl_runtime::rng::StdRng;
+use tgl_runtime::rng::{Rng, SeedableRng};
 use tgl_data::{generate, DatasetKind, DatasetSpec, NegativeSampler, Split};
 use tgl_harness::{TrainConfig, Trainer};
 use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgn};

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the TGLite reproduction. The workspace is
+# dependency-free (std only), so everything runs with --offline and no
+# lockfile network round-trips.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace --benches
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable; skipping lint"
+fi
+
+echo "==> CI green"

@@ -1,0 +1,169 @@
+//! Thread-count invariance suite: every parallel kernel must produce
+//! identical results for `TGL_THREADS` = 1, 2, and 8 and across
+//! repeated runs with a fixed seed. The runtime's determinism contract
+//! (output-partitioned kernels, fixed-chunk reductions, per-destination
+//! sampler seeding) makes these comparisons exact — bitwise, not
+//! approximate — so every assertion here uses `==` on `f32` bits.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tgl_integration::tiny_wiki;
+use tgl_runtime::rng::{SeedableRng, StdRng};
+use tgl_runtime::set_threads;
+use tgl_sampler::{NeighborSample, SamplingStrategy, TemporalSampler};
+use tgl_tensor::ops::{segment_mean, segment_softmax, segment_sum};
+use tgl_tensor::Tensor;
+
+/// Serializes tests: `set_threads` mutates the one global pool.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` under each thread count and asserts all results are equal
+/// (then restores a single-threaded pool).
+fn assert_invariant<R: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> R) {
+    let mut base: Option<(usize, R)> = None;
+    for t in THREAD_COUNTS {
+        set_threads(t);
+        let r = f();
+        match &base {
+            None => base = Some((t, r)),
+            Some((t0, r0)) => assert_eq!(
+                r0, &r,
+                "{what}: output differs between {t0} and {t} threads"
+            ),
+        }
+    }
+    set_threads(1);
+}
+
+fn rand_tensor(rng: &mut StdRng, dims: [usize; 2]) -> Tensor {
+    Tensor::rand_uniform(dims, -1.0, 1.0, rng)
+}
+
+#[test]
+fn matmul_forward_and_backward_invariant() {
+    let _g = serial();
+    assert_invariant("matmul fwd+bwd", || {
+        let mut rng = StdRng::seed_from_u64(0xA11);
+        let a = rand_tensor(&mut rng, [33, 47]).requires_grad(true);
+        let b = rand_tensor(&mut rng, [47, 29]).requires_grad(true);
+        let c = a.matmul(&b);
+        c.sum_all().backward();
+        (c.to_vec(), a.grad().unwrap(), b.grad().unwrap())
+    });
+}
+
+#[test]
+fn bmm_invariant() {
+    let _g = serial();
+    assert_invariant("bmm fwd+bwd", || {
+        let mut rng = StdRng::seed_from_u64(0xB33);
+        let a = Tensor::rand_uniform([6, 17, 13], -1.0, 1.0, &mut rng).requires_grad(true);
+        let b = Tensor::rand_uniform([6, 13, 11], -1.0, 1.0, &mut rng).requires_grad(true);
+        let c = a.bmm(&b);
+        c.sum_all().backward();
+        (c.to_vec(), a.grad().unwrap(), b.grad().unwrap())
+    });
+}
+
+#[test]
+fn segment_kernels_invariant() {
+    let _g = serial();
+    assert_invariant("segment sum/mean/softmax fwd+bwd", || {
+        let mut rng = StdRng::seed_from_u64(0x5E6);
+        let n = 300;
+        let x = rand_tensor(&mut rng, [n, 8]).requires_grad(true);
+        let seg: Vec<usize> = (0..n).map(|i| (i * 7 % 41) % 23).collect();
+        let s = segment_sum(&x, &seg, 23);
+        let m = segment_mean(&x, &seg, 23);
+        let sm = segment_softmax(&x, &seg, 23);
+        sm.mul(&x).sum_all().add(&s.sum_all()).add(&m.sum_all()).backward();
+        (s.to_vec(), m.to_vec(), sm.to_vec(), x.grad().unwrap())
+    });
+}
+
+#[test]
+fn elementwise_and_reductions_invariant() {
+    let _g = serial();
+    assert_invariant("elementwise + reductions", || {
+        let mut rng = StdRng::seed_from_u64(0xE1E);
+        let x = rand_tensor(&mut rng, [123, 211]).requires_grad(true);
+        let y = rand_tensor(&mut rng, [123, 211]);
+        let z = x.mul(&y).exp().add(&y).softmax_last();
+        let loss = z.sum_dim(0).sum_all().add(&z.max_dim(1).sum_all());
+        loss.backward();
+        (loss.item(), z.to_vec(), x.grad().unwrap())
+    });
+}
+
+fn sample_fixture(threads: usize, strategy: SamplingStrategy) -> NeighborSample {
+    let (g, _) = tiny_wiki();
+    let csr = g.tcsr();
+    let n = 1024usize;
+    let nodes: Vec<u32> = (0..n as u32).map(|i| i % g.num_nodes() as u32).collect();
+    let times: Vec<f64> = (0..n).map(|i| g.max_time() * (i as f64 + 1.0) / n as f64).collect();
+    TemporalSampler::new(10, strategy)
+        .with_seed(99)
+        .with_threads(threads)
+        .sample(&csr, &nodes, &times)
+}
+
+#[test]
+fn sampler_invariant_across_thread_counts() {
+    let _g = serial();
+    for strategy in [SamplingStrategy::Recent, SamplingStrategy::Uniform] {
+        let mut base: Option<NeighborSample> = None;
+        for t in THREAD_COUNTS {
+            set_threads(t);
+            let s = sample_fixture(t, strategy);
+            match &base {
+                None => base = Some(s),
+                Some(b) => {
+                    assert_eq!(b.src_nodes, s.src_nodes, "{strategy:?}: nodes differ at {t} threads");
+                    assert_eq!(b.src_times, s.src_times, "{strategy:?}: times differ at {t} threads");
+                    assert_eq!(b.eids, s.eids, "{strategy:?}: eids differ at {t} threads");
+                    assert_eq!(
+                        b.dst_index, s.dst_index,
+                        "{strategy:?}: dst_index differs at {t} threads"
+                    );
+                }
+            }
+        }
+    }
+    set_threads(1);
+}
+
+#[test]
+fn sampler_repeatable_with_fixed_seed() {
+    let _g = serial();
+    set_threads(4);
+    let a = sample_fixture(4, SamplingStrategy::Uniform);
+    let b = sample_fixture(4, SamplingStrategy::Uniform);
+    assert_eq!(a.src_nodes, b.src_nodes);
+    assert_eq!(a.eids, b.eids);
+    assert_eq!(a.src_times, b.src_times);
+    set_threads(1);
+}
+
+#[test]
+fn sum_all_matches_sequential_within_tolerance() {
+    let _g = serial();
+    // The chunked sum must stay within 1e-5 (relative) of a plain
+    // sequential fold, and be exactly invariant across thread counts.
+    let mut rng = StdRng::seed_from_u64(0x5F1);
+    let x = Tensor::rand_uniform([100_000], -1.0, 1.0, &mut rng);
+    let seq: f32 = x.to_vec().iter().sum();
+    assert_invariant("sum_all", || x.sum_all().item());
+    set_threads(8);
+    let par = x.sum_all().item();
+    set_threads(1);
+    let denom = seq.abs().max(1.0);
+    assert!(
+        (par - seq).abs() / denom <= 1e-5,
+        "chunked sum {par} vs sequential {seq}"
+    );
+}
