@@ -33,6 +33,15 @@ SUBCOMMANDS:
     eval       inference-only run over the test split
     generate   write a synthetic dataset's edge list as CSV
     stats      print a dataset's structural statistics
+    jsoncheck  parse a JSON file and exit nonzero if malformed
+
+OBSERVABILITY OPTIONS (train/eval):
+    --prof               print the per-phase epoch breakdown (Fig. 7)
+    --trace-out <PATH>   write a Chrome trace-event JSON of all spans
+                         (open in chrome://tracing or ui.perfetto.dev)
+    --metrics-out <PATH> write a structured JSON run report (per-epoch
+                         phases + subsystem counters)
+    --threads <N>        set the worker pool width (overrides TGL_THREADS)
 
 COMMON OPTIONS:
     --dataset <wiki|mooc|reddit|lastfm|wikitalk|gdelt>   (default wiki)
@@ -62,6 +71,7 @@ fn main() {
         "eval" => train(&args, true),
         "generate" => generate_cmd(&args),
         "stats" => stats_cmd(&args),
+        "jsoncheck" => jsoncheck_cmd(&args),
         other => {
             eprintln!("unknown subcommand {other:?}\n");
             print!("{HELP}");
@@ -116,6 +126,19 @@ fn train(args: &Args, eval_only: bool) {
     let fw = framework(args);
     let mk = model_kind(args);
     let host_resident = args.has_flag("move");
+    if let Some(n) = args.get("threads") {
+        let n: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("--threads: cannot parse {n:?}");
+            std::process::exit(2);
+        });
+        tgl_runtime::set_threads(n);
+    }
+    let show_prof = args.has_flag("prof");
+    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
+    let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        tglite::obs::trace::enable(true);
+    }
     println!(
         "{} {} on {} ({} nodes, {} edges), {}",
         if eval_only { "evaluating" } else { "training" },
@@ -171,6 +194,22 @@ fn train(args: &Args, eval_only: bool) {
         }
     }
 
+    let mut reporter = (show_prof || metrics_out.is_some()).then(|| {
+        let mut rep = tgl_harness::RunReporter::start();
+        rep.set_meta("model", mk.label());
+        rep.set_meta("dataset", spec.kind.name());
+        rep.set_meta("framework", fw.label());
+        rep.set_meta(
+            "placement",
+            if host_resident { "cpu-to-gpu" } else { "all-on-gpu" },
+        );
+        rep.set_meta_num("seed", args.get_or("seed", 42u64) as f64);
+        rep.set_meta_num("scale", args.get_or("scale", 2u64) as f64);
+        rep.set_meta_num("batch", train_cfg.batch_size as f64);
+        rep.set_meta_num("threads", tgl_runtime::current_threads() as f64);
+        rep
+    });
+
     let mut log = MetricLog::for_training();
     let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), train_cfg.lr);
     let mut best_val = 0.0f64;
@@ -185,11 +224,34 @@ fn train(args: &Args, eval_only: bool) {
             s.val_ap * 100.0,
             s.train_time_s
         );
+        if let Some(rep) = reporter.as_mut() {
+            rep.record_epoch(e, &s);
+            if show_prof {
+                if let Some(epoch_report) = rep.epochs_so_far().last() {
+                    for (phase, secs) in &epoch_report.phases_s {
+                        println!("    {phase:<14} {secs:8.3}s");
+                    }
+                }
+            }
+        }
     }
     let (test_ap, test_s) = trainer.evaluate(model.as_mut(), &ctx, split.test.clone());
     println!("test AP {:.2}% ({test_s:.2}s cpu)", test_ap * 100.0);
     if train_cfg.epochs > 0 {
         println!("best val AP {:.2}%", best_val * 100.0);
+    }
+
+    if let Some(rep) = reporter {
+        let report = rep.finish(test_ap, test_s);
+        if let Some(path) = &metrics_out {
+            report.save(path).expect("write run report");
+            println!("run report written to {}", path.display());
+        }
+    }
+    if let Some(path) = &trace_out {
+        let n = tglite::obs::trace::save_chrome_trace(path).expect("write trace");
+        tglite::obs::trace::enable(false);
+        println!("chrome trace with {n} spans written to {}", path.display());
     }
 
     if let Some(path) = args.get("csv") {
@@ -203,6 +265,35 @@ fn train(args: &Args, eval_only: bool) {
         }
     }
     tgl_device::set_transfer_model(TransferModel::disabled());
+}
+
+fn jsoncheck_cmd(args: &Args) {
+    let path = args.get("file").or_else(|| args.get("_extra")).unwrap_or_else(|| {
+        eprintln!("usage: tgl jsoncheck --file <PATH>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    match tgl_data::Json::parse(&text) {
+        Ok(v) => {
+            // Round-trip: rendered output must parse back identically,
+            // guarding the writer as well as the reader.
+            let rendered = v.render();
+            match tgl_data::Json::parse(&rendered) {
+                Ok(back) if back == v => println!("{path}: valid JSON ({} bytes)", text.len()),
+                _ => {
+                    eprintln!("{path}: round-trip mismatch");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn generate_cmd(args: &Args) {

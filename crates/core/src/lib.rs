@@ -88,6 +88,14 @@ pub mod tensor {
     pub use tgl_tensor::*;
 }
 
+/// Observability substrate (re-export of `tgl-obs`): counters, the
+/// cross-thread span tracer, and phase aggregation. [`prof`] is a thin
+/// facade over `obs::phase`; use this module directly for counters and
+/// Chrome-trace export.
+pub mod obs {
+    pub use tgl_obs::*;
+}
+
 pub use tgl_graph::{EdgeId, Mailbox, Memory, NodeId, TCsr, Time};
 
 /// The paper's `TGraph`: central container for a CTDG dataset.

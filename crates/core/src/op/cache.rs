@@ -46,6 +46,8 @@ pub fn cache(ctx: &TContext, blk: &TBlock) -> TBlock {
             None => miss_positions.push(i),
         }
     }
+    tgl_obs::counter!("cache.hits").add(hit_rows.len() as u64);
+    tgl_obs::counter!("cache.misses").add(miss_positions.len() as u64);
 
     // Capture what the hook needs to populate the cache with fresh rows.
     let miss_nodes: Vec<_> = miss_positions.iter().map(|&i| nodes[i]).collect();

@@ -41,6 +41,8 @@ pub fn dedup(blk: &TBlock) -> TBlock {
         }
         (uniq_nodes, uniq_times, inverse)
     });
+    tgl_obs::counter!("dedup.rows_in").add(inverse.len() as u64);
+    tgl_obs::counter!("dedup.rows_saved").add((inverse.len() - uniq_nodes.len()) as u64);
     if uniq_nodes.len() == inverse.len() {
         return blk.clone(); // already unique — nothing to do
     }

@@ -18,6 +18,7 @@ use crate::{TBlock, TContext};
 /// that "the preload() operator in TGLite has no effect in this
 /// scenario".
 pub fn preload(ctx: &TContext, head: &TBlock, use_pin: bool) {
+    tgl_obs::counter!("preload.calls").incr();
     let device = ctx.device();
     let mut cur = Some(head.clone());
     while let Some(blk) = cur {
@@ -31,10 +32,13 @@ fn preload_block(ctx: &TContext, blk: &TBlock, device: Device, use_pin: bool) {
     let move_to = |t: tgl_tensor::Tensor| -> tgl_tensor::Tensor {
         if t.device() == device {
             t
-        } else if use_pin {
-            t.to_pinned(device, ctx.pinned_pool())
         } else {
-            t.to(device)
+            tgl_obs::counter!("preload.tensors_moved").incr();
+            if use_pin {
+                t.to_pinned(device, ctx.pinned_pool())
+            } else {
+                t.to(device)
+            }
         }
     };
     let dst = (g.node_feat_dim() > 0).then(|| {

@@ -2,9 +2,16 @@
 //!
 //! The paper's Fig. 7 breaks a TGAT training epoch into major
 //! operations (sample, batch prep, time encoding, attention, backward,
-//! …). This module provides a thread-local named-phase accumulator
-//! that framework and model code mark with [`scope`] guards; it is
-//! disabled (near-zero cost) unless a harness calls [`enable`].
+//! …). This module keeps the original `scope()/take()` API but is now a
+//! facade over the [`tgl_obs`](crate::obs) observability substrate: a
+//! scope is an obs span, so phase time aggregates into one *global*
+//! accumulator no matter which thread records it — including
+//! `tgl-runtime` pool workers, whose time the old thread-local
+//! implementation silently dropped — and, when tracing is enabled, the
+//! same scope also emits a Chrome trace event.
+//!
+//! Profiling is process-global and disabled (near-zero cost) unless a
+//! harness calls [`enable`].
 //!
 //! # Examples
 //!
@@ -21,107 +28,122 @@
 //! prof::enable(false);
 //! ```
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-thread_local! {
-    static ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-    static PHASES: RefCell<HashMap<&'static str, Duration>> = RefCell::new(HashMap::new());
-}
+pub use tgl_obs::SpanGuard as ScopeGuard;
 
-/// Enables or disables phase accumulation on this thread.
+/// Enables or disables phase accumulation (process-global).
 pub fn enable(on: bool) {
-    ENABLED.with(|e| e.set(on));
+    tgl_obs::phase::enable(on);
 }
 
-/// Whether profiling is currently enabled on this thread.
+/// Whether profiling is currently enabled.
 pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
+    tgl_obs::phase::enabled()
 }
 
-/// RAII guard accumulating wall time into a named phase on drop.
-#[derive(Debug)]
-pub struct ScopeGuard {
-    name: &'static str,
-    start: Option<Instant>,
-}
-
-/// Starts timing the named phase (no-op when profiling is disabled).
+/// Starts timing the named phase (no-op when profiling is disabled —
+/// unless tracing is on, in which case the guard still records a trace
+/// event). Time accumulates into the global report regardless of the
+/// recording thread.
 pub fn scope(name: &'static str) -> ScopeGuard {
-    ScopeGuard {
-        name,
-        start: enabled().then(Instant::now),
-    }
-}
-
-impl Drop for ScopeGuard {
-    fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let elapsed = start.elapsed();
-            PHASES.with(|p| {
-                *p.borrow_mut().entry(self.name).or_default() += elapsed;
-            });
-        }
-    }
+    tgl_obs::span(name)
 }
 
 /// Adds an externally measured duration to a phase.
 pub fn add(name: &'static str, d: Duration) {
     if enabled() {
-        PHASES.with(|p| {
-            *p.borrow_mut().entry(name).or_default() += d;
-        });
+        tgl_obs::phase::add(name, d);
     }
 }
 
-/// Drains and returns the accumulated `(phase, duration)` pairs,
-/// sorted by descending duration.
+/// Drains and returns the accumulated `(phase, duration)` pairs from
+/// every thread, sorted by descending duration.
 pub fn take() -> Vec<(&'static str, Duration)> {
-    let mut v: Vec<_> = PHASES.with(|p| p.borrow_mut().drain().collect());
-    v.sort_by_key(|e| std::cmp::Reverse(e.1));
-    v
+    tgl_obs::phase::take()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// The accumulator is process-global and cargo runs tests
+    /// concurrently, so tests serialize and look for their own unique
+    /// phase names rather than asserting the report is empty.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn disabled_scope_records_nothing() {
+        let _g = serial();
+        let was = enabled();
         enable(false);
-        take();
         {
-            let _g = scope("x");
+            let _s = scope("prof-test-disabled");
         }
-        assert!(take().is_empty());
+        add("prof-test-disabled", Duration::from_millis(1));
+        enable(true);
+        let report = take();
+        enable(was);
+        assert!(!report.iter().any(|(n, _)| *n == "prof-test-disabled"));
     }
 
     #[test]
     fn enabled_scope_accumulates() {
+        let _g = serial();
         enable(true);
-        take();
         {
-            let _g = scope("alpha");
+            let _s = scope("prof-test-alpha");
             std::thread::sleep(Duration::from_millis(2));
         }
         {
-            let _g = scope("alpha");
+            let _s = scope("prof-test-alpha");
         }
-        add("beta", Duration::from_millis(1));
+        add("prof-test-beta", Duration::from_millis(1));
         let report = take();
         enable(false);
-        let alpha = report.iter().find(|(n, _)| *n == "alpha").unwrap();
+        let alpha = report.iter().find(|(n, _)| *n == "prof-test-alpha").unwrap();
         assert!(alpha.1 >= Duration::from_millis(2));
-        assert!(report.iter().any(|(n, _)| *n == "beta"));
+        assert!(report.iter().any(|(n, _)| *n == "prof-test-beta"));
     }
 
     #[test]
     fn take_drains() {
+        let _g = serial();
         enable(true);
-        add("g", Duration::from_millis(1));
-        assert!(!take().is_empty());
-        assert!(take().is_empty());
+        add("prof-test-drain", Duration::from_millis(1));
+        assert!(take().iter().any(|(n, _)| *n == "prof-test-drain"));
+        assert!(!take().iter().any(|(n, _)| *n == "prof-test-drain"));
         enable(false);
+    }
+
+    #[test]
+    fn worker_thread_scopes_reach_caller_report() {
+        // Regression test for the PR 1 era bug: phases recorded inside
+        // pool closures vanished from the caller's thread-local report.
+        let _g = serial();
+        enable(true);
+        take();
+        let before = tgl_runtime::current_threads();
+        tgl_runtime::set_threads(2);
+        tgl_runtime::parallel_for(4096, 1, |r| {
+            let _s = scope("prof-test-worker-phase");
+            let mut acc = 0.0f64;
+            for i in r {
+                acc += (i as f64).sqrt();
+            }
+            std::hint::black_box(acc);
+        });
+        tgl_runtime::set_threads(before);
+        let report = take();
+        enable(false);
+        let phase = report
+            .iter()
+            .find(|(n, _)| *n == "prof-test-worker-phase")
+            .expect("phase recorded inside a parallel region must appear in the report");
+        assert!(phase.1 > Duration::ZERO);
     }
 }

@@ -20,12 +20,14 @@
 
 mod generator;
 mod io;
+pub mod json;
 mod sampling;
 mod specs;
 mod split;
 pub mod stats;
 
 pub use generator::{generate, DatasetStats};
+pub use json::Json;
 pub use io::{load_csv, save_csv};
 pub use sampling::NegativeSampler;
 pub use specs::{DatasetKind, DatasetSpec};

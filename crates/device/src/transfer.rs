@@ -153,13 +153,24 @@ pub fn set_transfer_model(model: TransferModel) {
 pub fn transfer(bytes: u64, kind: TransferKind) -> u64 {
     let model = *MODEL.read();
     COUNT.fetch_add(1, Ordering::Relaxed);
+    tgl_obs::counter!("transfer.count").incr();
     if kind.is_h2d() {
         H2D_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        tgl_obs::counter!("transfer.h2d_bytes").add(bytes);
     } else {
         D2H_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        tgl_obs::counter!("transfer.d2h_bytes").add(bytes);
+    }
+    match kind {
+        TransferKind::HostToAccelPageable => {
+            tgl_obs::counter!("transfer.pageable_count").incr()
+        }
+        TransferKind::HostToAccelPinned => tgl_obs::counter!("transfer.pinned_count").incr(),
+        TransferKind::AccelToHost => tgl_obs::counter!("transfer.d2h_count").incr(),
     }
     let ns = model.cost_ns(bytes, kind);
     SIMULATED_NS.fetch_add(ns, Ordering::Relaxed);
+    tgl_obs::counter!("transfer.sim_ns").add(ns);
     if ns > 0 {
         let wait = Duration::from_nanos((ns as f64 / model.time_compression.max(1.0)) as u64);
         spin_wait(wait);

@@ -59,6 +59,7 @@ impl Mailbox {
     ///
     /// Panics if `mails` is not `[nodes.len(), dim]`.
     pub fn store(&self, nodes: &[NodeId], mails: &Tensor, times: &[Time]) {
+        tgl_obs::counter!("mailbox.mails_stored").add(nodes.len() as u64);
         assert_eq!(mails.dims(), &[nodes.len(), self.dim], "mailbox store shape");
         assert_eq!(nodes.len(), times.len(), "mailbox store times length");
         let src = mails.to_vec();
@@ -93,6 +94,10 @@ impl Mailbox {
         }
         drop(t);
         drop(cursor);
+        tgl_obs::counter!("mailbox.rows_read").add(nodes.len() as u64);
+        // A zero delivery time means the slot never received a mail.
+        let stale = times.iter().filter(|&&ts| ts == 0.0).count();
+        tgl_obs::counter!("mailbox.stale_reads").add(stale as u64);
         (self.data.index_select(&rows), times)
     }
 
@@ -114,6 +119,7 @@ impl Mailbox {
             }
         }
         drop(t);
+        tgl_obs::counter!("mailbox.rows_read").add(rows.len() as u64);
         (self.data.index_select(&rows), times, owners)
     }
 

@@ -49,6 +49,7 @@ impl Memory {
     /// Gathers memory rows for `nodes` as a detached `[n, dim]` tensor
     /// (on the memory's device).
     pub fn rows(&self, nodes: &[NodeId]) -> Tensor {
+        tgl_obs::counter!("memory.rows_read").add(nodes.len() as u64);
         let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
         self.data.index_select(&idx)
     }
@@ -56,7 +57,12 @@ impl Memory {
     /// Last-update timestamps for `nodes`.
     pub fn times(&self, nodes: &[NodeId]) -> Vec<Time> {
         let t = self.time.read();
-        nodes.iter().map(|&n| t[n as usize]).collect()
+        let times: Vec<Time> = nodes.iter().map(|&n| t[n as usize]).collect();
+        // t == 0.0 means never updated: the read serves the zero
+        // initialization rather than real state.
+        let stale = times.iter().filter(|&&ts| ts == 0.0).count();
+        tgl_obs::counter!("memory.stale_reads").add(stale as u64);
+        times
     }
 
     /// Overwrites memory rows and their update times (detached write).
@@ -65,6 +71,7 @@ impl Memory {
     ///
     /// Panics if `values` is not `[nodes.len(), dim]`.
     pub fn store(&self, nodes: &[NodeId], values: &Tensor, times: &[Time]) {
+        tgl_obs::counter!("memory.rows_written").add(nodes.len() as u64);
         assert_eq!(values.dims(), &[nodes.len(), self.dim], "memory store shape");
         assert_eq!(nodes.len(), times.len(), "memory store times length");
         let src = values.to_vec();

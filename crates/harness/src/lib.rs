@@ -13,10 +13,12 @@
 
 pub mod logging;
 pub mod metrics;
+pub mod report;
 pub mod runner;
 pub mod table;
 mod trainer;
 
 pub use runner::{run_experiment, run_experiment_with_capacity, ExperimentConfig, ExperimentResult, Framework, ModelKind, Placement};
 pub use logging::MetricLog;
+pub use report::{EpochReport, RunReport, RunReporter};
 pub use trainer::{process_cpu_seconds, CpuTimer, EpochStats, TrainConfig, Trainer};

@@ -58,28 +58,27 @@ impl MetricLog {
         self.rows.is_empty()
     }
 
-    /// Renders the log as CSV text (header + rows, RFC-4180-style
-    /// quoting for cells containing commas or quotes).
+    /// Renders the log as CSV text (header + rows, RFC-4180 quoting).
     pub fn to_csv(&self) -> String {
-        let quote = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
-            } else {
-                cell.to_string()
-            }
-        };
-        let mut out = self
-            .columns
-            .iter()
-            .map(|c| quote(c))
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = Vec::new();
+        self.write_csv(&mut out).expect("write to Vec cannot fail");
+        String::from_utf8(out).expect("CSV output is UTF-8")
+    }
+
+    /// Streams the log as CSV into `w` (header + rows). Cells
+    /// containing commas, double quotes, or line breaks (`\n` or `\r`)
+    /// are quoted per RFC 4180, with embedded quotes doubled, so
+    /// arbitrary cell content round-trips through standard CSV readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_csv<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_row(w, &self.columns)?;
         for row in &self.rows {
-            out.push('\n');
-            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            write_row(w, row)?;
         }
-        out.push('\n');
-        out
+        Ok(())
     }
 
     /// Writes the CSV to `path`.
@@ -89,9 +88,25 @@ impl MetricLog {
     /// Returns any underlying I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        f.write_all(self.to_csv().as_bytes())?;
+        self.write_csv(&mut f)?;
         f.flush()
     }
+}
+
+fn write_row<W: Write>(w: &mut W, cells: &[String]) -> std::io::Result<()> {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        if cell.contains([',', '"', '\n', '\r']) {
+            w.write_all(b"\"")?;
+            w.write_all(cell.replace('"', "\"\"").as_bytes())?;
+            w.write_all(b"\"")?;
+        } else {
+            w.write_all(cell.as_bytes())?;
+        }
+    }
+    w.write_all(b"\n")
 }
 
 #[cfg(test)]
@@ -148,5 +163,77 @@ mod tests {
         let mut log = MetricLog::new(&["a", "b", "c"]);
         log.record(&["only".into()]);
         assert_eq!(log.to_csv().lines().nth(1), Some("only,,"));
+    }
+
+    #[test]
+    fn write_csv_quotes_line_breaks_and_crlf() {
+        let mut log = MetricLog::new(&["k", "v"]);
+        log.record(&["1".into(), "line\nbreak".into()]);
+        log.record(&["2".into(), "carriage\rreturn".into()]);
+        log.record(&["3".into(), "crlf\r\nboth".into()]);
+        let mut buf = Vec::new();
+        log.write_csv(&mut buf).unwrap();
+        let csv = String::from_utf8(buf).unwrap();
+        assert!(csv.contains("1,\"line\nbreak\"\n"));
+        assert!(csv.contains("2,\"carriage\rreturn\"\n"));
+        assert!(csv.contains("3,\"crlf\r\nboth\"\n"));
+        assert_eq!(csv, log.to_csv(), "to_csv and write_csv must agree");
+    }
+
+    #[test]
+    fn write_csv_adversarial_cells_round_trip() {
+        // A minimal RFC-4180 reader: if it can reconstruct the cells,
+        // so can any spreadsheet/pandas-style consumer.
+        fn parse(csv: &str) -> Vec<Vec<String>> {
+            let mut rows = Vec::new();
+            let mut row = Vec::new();
+            let mut cell = String::new();
+            let mut chars = csv.chars().peekable();
+            let mut quoted = false;
+            while let Some(c) = chars.next() {
+                if quoted {
+                    if c == '"' {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            cell.push('"');
+                        } else {
+                            quoted = false;
+                        }
+                    } else {
+                        cell.push(c);
+                    }
+                } else {
+                    match c {
+                        '"' => quoted = true,
+                        ',' => row.push(std::mem::take(&mut cell)),
+                        '\n' => {
+                            row.push(std::mem::take(&mut cell));
+                            rows.push(std::mem::take(&mut row));
+                        }
+                        c => cell.push(c),
+                    }
+                }
+            }
+            rows
+        }
+        let nasty = [
+            "plain",
+            "comma,inside",
+            "quote\"inside",
+            "\"fully quoted\"",
+            "new\nline",
+            "cr\rhere",
+            "all,of\"it\r\n,together",
+            "",
+        ];
+        let mut log = MetricLog::new(&["idx", "payload"]);
+        for (i, cell) in nasty.iter().enumerate() {
+            log.record(&[i.to_string(), cell.to_string()]);
+        }
+        let parsed = parse(&log.to_csv());
+        assert_eq!(parsed.len(), nasty.len() + 1, "header + one row per cell");
+        for (i, cell) in nasty.iter().enumerate() {
+            assert_eq!(parsed[i + 1], vec![i.to_string(), cell.to_string()]);
+        }
     }
 }

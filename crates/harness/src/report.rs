@@ -1,0 +1,328 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReporter`] rides along a training run: per epoch it drains
+//! the global phase accumulator (`tglite::prof`) and diffs the global
+//! counter registry (`tglite::obs::metrics`), producing one
+//! [`RunReport`] JSON document with the Fig. 7 phase breakdown and the
+//! Table 6 redundancy counters for every epoch — the structured
+//! counterpart to the [`MetricLog`](crate::MetricLog) CSV.
+//!
+//! Schema (`"schema": "tgl-run-report/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "tgl-run-report/v1",
+//!   "meta": {"model": "tgat", "dataset": "wiki", ...},
+//!   "epochs": [
+//!     {"epoch": 0, "loss": 0.61, "train_s": 1.9, "val_ap": 0.93,
+//!      "phases_s": {"sample": 0.41, "attention": 0.62, ...},
+//!      "counters": {"cache.hits": 0, "sampler.neighbors": 51200, ...}},
+//!     ...
+//!   ],
+//!   "test": {"ap": 0.94, "secs": 0.7},
+//!   "counters_total": {"cache.hits": 123, ...}
+//! }
+//! ```
+//!
+//! Per-epoch `counters` are deltas over that epoch; `counters_total`
+//! holds the absolute values at finish.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use tgl_data::Json;
+use tglite::{obs, prof};
+
+use crate::EpochStats;
+
+/// One epoch's measurements: trainer stats + phase durations + counter
+/// deltas.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f32,
+    /// Training wall/CPU seconds (as reported by the trainer).
+    pub train_s: f64,
+    /// Validation AP after the epoch.
+    pub val_ap: f64,
+    /// Per-phase seconds drained from the profiler, sorted by
+    /// descending duration.
+    pub phases_s: Vec<(String, f64)>,
+    /// Counter increments during the epoch, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A completed run's structured report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Free-form run metadata (model, dataset, seed, threads, ...).
+    pub meta: Vec<(String, Json)>,
+    /// Per-epoch measurements in order.
+    pub epochs: Vec<EpochReport>,
+    /// Test AP after training.
+    pub test_ap: f64,
+    /// Test inference seconds.
+    pub test_s: f64,
+    /// Absolute counter values at the end of the run, sorted by name.
+    pub counters_total: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let epochs = self
+            .epochs
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch".into(), Json::Num(e.epoch as f64)),
+                    ("loss".into(), Json::Num(e.loss as f64)),
+                    ("train_s".into(), Json::Num(e.train_s)),
+                    ("val_ap".into(), Json::Num(e.val_ap)),
+                    (
+                        "phases_s".into(),
+                        Json::Obj(
+                            e.phases_s
+                                .iter()
+                                .map(|(n, s)| (n.clone(), Json::Num(*s)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counters".into(),
+                        Json::Obj(
+                            e.counters
+                                .iter()
+                                .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema".into(), Json::Str("tgl-run-report/v1".into())),
+            ("meta".into(), Json::Obj(self.meta.clone())),
+            ("epochs".into(), Json::Arr(epochs)),
+            (
+                "test".into(),
+                Json::obj(vec![
+                    ("ap".into(), Json::Num(self.test_ap)),
+                    ("secs".into(), Json::Num(self.test_s)),
+                ]),
+            ),
+            (
+                "counters_total".into(),
+                Json::Obj(
+                    self.counters_total
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Collects per-epoch phase and counter snapshots during a run.
+///
+/// [`RunReporter::start`] enables the profiler and baselines the
+/// counter registry; call [`record_epoch`](RunReporter::record_epoch)
+/// after each training epoch and [`finish`](RunReporter::finish) after
+/// test inference.
+#[derive(Debug)]
+pub struct RunReporter {
+    meta: Vec<(String, Json)>,
+    epochs: Vec<EpochReport>,
+    last_counters: HashMap<String, u64>,
+    prof_was_enabled: bool,
+}
+
+impl RunReporter {
+    /// Starts reporting: enables phase profiling (restored by
+    /// [`finish`](RunReporter::finish)), drains any stale phases, and
+    /// baselines counters so epoch deltas start from here.
+    pub fn start() -> RunReporter {
+        let prof_was_enabled = prof::enabled();
+        prof::enable(true);
+        prof::take();
+        RunReporter {
+            meta: Vec::new(),
+            epochs: Vec::new(),
+            last_counters: snapshot_map(),
+            prof_was_enabled,
+        }
+    }
+
+    /// Attaches a metadata string (model name, dataset, ...).
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), Json::Str(value.to_string())));
+    }
+
+    /// Attaches a numeric metadata value (seed, threads, scale, ...).
+    pub fn set_meta_num(&mut self, key: &str, value: f64) {
+        self.meta.push((key.to_string(), Json::Num(value)));
+    }
+
+    /// Epoch reports recorded so far (most recent last).
+    pub fn epochs_so_far(&self) -> &[EpochReport] {
+        &self.epochs
+    }
+
+    /// Records one finished epoch: drains accumulated phases and diffs
+    /// counters against the previous snapshot.
+    pub fn record_epoch(&mut self, epoch: usize, stats: &EpochStats) {
+        let phases_s = prof::take()
+            .into_iter()
+            .map(|(n, d)| (n.to_string(), d.as_secs_f64()))
+            .collect();
+        let now = snapshot_map();
+        let mut counters: Vec<(String, u64)> = now
+            .iter()
+            .map(|(n, v)| {
+                let before = self.last_counters.get(n).copied().unwrap_or(0);
+                (n.clone(), v - before)
+            })
+            .collect();
+        counters.sort();
+        self.last_counters = now;
+        self.epochs.push(EpochReport {
+            epoch,
+            loss: stats.loss,
+            train_s: stats.train_time_s,
+            val_ap: stats.val_ap,
+            phases_s,
+            counters,
+        });
+    }
+
+    /// Finishes the run: restores the profiler's previous enable state
+    /// and returns the report with final absolute counter values.
+    pub fn finish(mut self, test_ap: f64, test_s: f64) -> RunReport {
+        prof::take();
+        prof::enable(self.prof_was_enabled);
+        let mut counters_total: Vec<(String, u64)> = obs::metrics::snapshot()
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        counters_total.sort();
+        self.meta.sort_by(|a, b| a.0.cmp(&b.0));
+        RunReport {
+            meta: std::mem::take(&mut self.meta),
+            epochs: std::mem::take(&mut self.epochs),
+            test_ap,
+            test_s,
+            counters_total,
+        }
+    }
+}
+
+fn snapshot_map() -> HashMap<String, u64> {
+    obs::metrics::snapshot()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Profiler and counters are process-global; serialize tests that
+    /// exercise them.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stats() -> EpochStats {
+        EpochStats {
+            loss: 0.5,
+            train_time_s: 1.25,
+            val_ap: 0.9,
+        }
+    }
+
+    #[test]
+    fn reporter_collects_phases_and_counter_deltas() {
+        let _g = serial();
+        let mut rep = RunReporter::start();
+        rep.set_meta("model", "tgat");
+        rep.set_meta_num("seed", 42.0);
+        prof::add("report-test-phase", Duration::from_millis(3));
+        obs::counter!("report.test.events").add(7);
+        rep.record_epoch(0, &stats());
+        obs::counter!("report.test.events").add(2);
+        rep.record_epoch(1, &stats());
+        let report = rep.finish(0.91, 0.2);
+
+        assert_eq!(report.epochs.len(), 2);
+        let e0 = &report.epochs[0];
+        assert!(e0.phases_s.iter().any(|(n, s)| n == "report-test-phase" && *s > 0.0));
+        let delta = |e: &EpochReport| {
+            e.counters
+                .iter()
+                .find(|(n, _)| n == "report.test.events")
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(delta(e0), Some(7));
+        assert_eq!(delta(&report.epochs[1]), Some(2));
+        let total = report
+            .counters_total
+            .iter()
+            .find(|(n, _)| n == "report.test.events")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(total >= 9);
+    }
+
+    #[test]
+    fn report_json_parses_and_has_schema() {
+        let _g = serial();
+        let mut rep = RunReporter::start();
+        rep.set_meta("dataset", "wiki \"scaled\"");
+        prof::add("report-test-json", Duration::from_millis(1));
+        rep.record_epoch(0, &stats());
+        let report = rep.finish(0.9, 0.1);
+        let v = Json::parse(&report.to_json()).expect("report must be valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("tgl-run-report/v1")
+        );
+        let epochs = v.get("epochs").and_then(Json::as_arr).unwrap();
+        assert_eq!(epochs.len(), 1);
+        assert!(epochs[0]
+            .get("phases_s")
+            .and_then(|p| p.get("report-test-json"))
+            .is_some());
+        assert_eq!(
+            v.get("meta").and_then(|m| m.get("dataset")).and_then(Json::as_str),
+            Some("wiki \"scaled\"")
+        );
+        assert!(v.get("test").and_then(|t| t.get("ap")).is_some());
+    }
+
+    #[test]
+    fn finish_restores_profiler_state() {
+        let _g = serial();
+        prof::enable(false);
+        let rep = RunReporter::start();
+        assert!(prof::enabled());
+        rep.finish(0.0, 0.0);
+        assert!(!prof::enabled());
+    }
+}

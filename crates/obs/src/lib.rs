@@ -1,0 +1,147 @@
+//! # tgl-obs — observability substrate
+//!
+//! Std-only (no dependencies, not even on other workspace crates — it
+//! sits *below* `tgl-runtime` so even the thread pool can report into
+//! it). Three cooperating pieces:
+//!
+//! * [`metrics`] — a global registry of named atomic [`metrics::Counter`]s.
+//!   Instrumentation sites use the [`counter!`] macro, which resolves the
+//!   registry lookup once per call site and then costs one relaxed
+//!   `fetch_add` per increment (a load + branch when metering is
+//!   disabled). Counters are *observational only*: they never influence
+//!   computation, so the workspace's bitwise thread-count-invariance
+//!   contract is unaffected.
+//!
+//! * [`trace`] — a cross-thread span tracer. [`span`] returns an RAII
+//!   guard; on drop it records `(name, thread id, start, duration)` into
+//!   a sharded global sink. [`trace::take`] drains the sink and
+//!   [`trace::to_chrome_json`] renders Chrome trace-event JSON loadable
+//!   in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! * [`phase`] — a global named-phase duration accumulator (the Fig. 7
+//!   per-operation breakdown). Unlike the old thread-local profiler in
+//!   `tglite::prof`, phases recorded on *any* thread — including pool
+//!   workers — aggregate into the one report the caller drains.
+//!
+//! A single [`span`] guard feeds both sinks: phase aggregation when
+//! profiling is enabled, span events when tracing is enabled. Both are
+//! off by default; a disabled guard does one relaxed atomic load.
+//!
+//! # Examples
+//!
+//! ```
+//! tgl_obs::phase::enable(true);
+//! {
+//!     let _g = tgl_obs::span("attention");
+//!     // ... work, possibly fanned out to worker threads ...
+//! }
+//! let report = tgl_obs::phase::take();
+//! assert!(report.iter().any(|(name, _)| *name == "attention"));
+//! tgl_obs::phase::enable(false);
+//!
+//! tgl_obs::counter!("demo.hits").add(3);
+//! assert!(tgl_obs::metrics::get("demo.hits") >= 3);
+//! ```
+
+pub mod metrics;
+pub mod phase;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Starts a span named `name`: an RAII guard that, on drop, adds its
+/// wall time to the [`phase`] accumulator (when profiling is enabled)
+/// and records a trace event (when tracing is enabled). Near-zero cost
+/// when both are disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = phase::enabled() || trace::enabled();
+    SpanGuard {
+        name,
+        start: active.then(Instant::now),
+    }
+}
+
+/// RAII guard produced by [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur = start.elapsed();
+            if phase::enabled() {
+                phase::add(self.name, dur);
+            }
+            if trace::enabled() {
+                trace::record(self.name, start, dur);
+            }
+        }
+    }
+}
+
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the calling thread (0, 1, 2, … in first-use
+/// order), used as the `tid` of trace events and for per-worker
+/// counters. Stable for the thread's lifetime.
+pub fn thread_id() -> u32 {
+    THREAD_ID.with(|id| *id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the global enable flags.
+    pub(crate) fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_stable() {
+        let here = thread_id();
+        assert_eq!(here, thread_id());
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = serial();
+        phase::enable(false);
+        trace::enable(false);
+        phase::take();
+        {
+            let _s = span("obs-disabled-probe");
+        }
+        assert!(!phase::take().iter().any(|(n, _)| *n == "obs-disabled-probe"));
+    }
+
+    #[test]
+    fn span_feeds_both_sinks() {
+        let _g = serial();
+        phase::enable(true);
+        trace::enable(true);
+        phase::take();
+        trace::take();
+        {
+            let _s = span("obs-both-probe");
+        }
+        let phases = phase::take();
+        let spans = trace::take();
+        phase::enable(false);
+        trace::enable(false);
+        assert!(phases.iter().any(|(n, _)| *n == "obs-both-probe"));
+        assert!(spans.iter().any(|s| s.name == "obs-both-probe"));
+    }
+}

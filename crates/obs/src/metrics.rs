@@ -1,0 +1,196 @@
+//! Global counter registry.
+//!
+//! Subsystems meter themselves with named monotonic counters:
+//! `tgl_obs::counter!("cache.hits").add(n)`. The macro interns the name
+//! in a process-global registry once per call site, so steady-state
+//! cost is one relaxed atomic load (the enable gate) plus one relaxed
+//! `fetch_add`. [`snapshot`] returns every registered counter for run
+//! reports; [`reset`] zeroes them between measured runs.
+//!
+//! Naming scheme: `<subsystem>.<quantity>[.<qualifier>]`, all
+//! lowercase, e.g. `cache.hits`, `transfer.h2d_bytes`,
+//! `pool.busy_ns.t3`. Byte counts end in `_bytes`, nanosecond totals in
+//! `_ns`; everything else is an event count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Whether counters record increments. Enabled by default: a counter
+/// site is a relaxed `fetch_add` at batch granularity, which is noise.
+/// Disable for the strictest overhead measurements.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns metering on or off globally (counters keep their values).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metering is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A named monotonic counter. Obtain via [`counter`] or the
+/// `counter!` macro; instances live for the life of the process.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (no-op when metering is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (no-op when metering is disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Registered counters, in registration order. Entries are leaked
+/// intentionally: counters are process-lifetime statics.
+static REGISTRY: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+/// Returns the counter registered under `name`, creating it on first
+/// use. Prefer the `counter!` macro at instrumentation sites — it
+/// caches this lookup in a per-site `OnceLock`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = reg.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+    reg.push(c);
+    c
+}
+
+/// Registers a counter under a runtime-constructed name (e.g.
+/// per-worker `pool.busy_ns.t3`). The name string is interned (leaked)
+/// on first registration.
+pub fn counter_owned(name: String) -> &'static Counter {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = reg.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let name: &'static str = Box::leak(name.into_boxed_str());
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+    reg.push(c);
+    c
+}
+
+/// Current value of the counter named `name` (0 if never registered).
+pub fn get(name: &str) -> u64 {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter().find(|c| c.name == name).map_or(0, |c| c.get())
+}
+
+/// Snapshot of every registered counter as `(name, value)`, sorted by
+/// name for stable report output.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut v: Vec<_> = reg.iter().map(|c| (c.name, c.get())).collect();
+    v.sort_unstable_by_key(|&(n, _)| n);
+    v
+}
+
+/// Zeroes every registered counter (registrations persist).
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for c in reg.iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Interns a counter at the call site: resolves the registry lookup
+/// once, then returns the cached `&'static Counter`.
+///
+/// ```
+/// tgl_obs::counter!("example.events").incr();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registers_and_accumulates() {
+        let c = counter("test.metrics.alpha");
+        let before = c.get();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), before + 6);
+        // Same name resolves to the same instance.
+        assert!(std::ptr::eq(c, counter("test.metrics.alpha")));
+        assert!(get("test.metrics.alpha") >= 6);
+    }
+
+    #[test]
+    fn owned_names_are_interned() {
+        let a = counter_owned(format!("test.metrics.t{}", 7));
+        let b = counter_owned("test.metrics.t7".to_string());
+        assert!(std::ptr::eq(a, b));
+        a.incr();
+        assert!(get("test.metrics.t7") >= 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_contains_registered() {
+        counter("test.metrics.zz").incr();
+        counter("test.metrics.aa").incr();
+        let snap = snapshot();
+        assert!(snap.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(snap.iter().any(|&(n, _)| n == "test.metrics.zz"));
+    }
+
+    #[test]
+    fn disabled_metering_drops_increments() {
+        let c = counter("test.metrics.gated");
+        set_enabled(false);
+        c.add(100);
+        let frozen = c.get();
+        set_enabled(true);
+        c.add(1);
+        assert_eq!(c.get(), frozen + 1);
+    }
+
+    #[test]
+    fn macro_caches_lookup() {
+        let a = counter!("test.metrics.macro");
+        let b = counter!("test.metrics.macro");
+        a.incr();
+        b.incr();
+        assert!(get("test.metrics.macro") >= 2);
+    }
+}

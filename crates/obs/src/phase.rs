@@ -1,0 +1,81 @@
+//! Global named-phase duration accumulator.
+//!
+//! This is the aggregation behind `tglite::prof` and the Fig. 7
+//! per-operation breakdown: each `(name, duration)` pair recorded on
+//! *any* thread accumulates into one process-global map keyed by phase
+//! name, which the measuring caller drains with [`take`]. The map is
+//! bounded by the number of distinct phase names (a dozen or so), so it
+//! never grows with run length the way the trace sink can.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static PHASES: Mutex<Option<HashMap<&'static str, Duration>>> = Mutex::new(None);
+
+/// Turns phase accumulation on or off. Off by default; a disabled
+/// span does one relaxed atomic load here.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether phase accumulation is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `dur` to the running total for `name`, regardless of which
+/// thread calls it. Callers normally go through `tgl_obs::span` or
+/// `tglite::prof::scope`, which check [`enabled`] first; calling this
+/// directly records unconditionally.
+pub fn add(name: &'static str, dur: Duration) {
+    let mut map = PHASES.lock().unwrap_or_else(|e| e.into_inner());
+    *map.get_or_insert_with(HashMap::new).entry(name).or_default() += dur;
+}
+
+/// Drains all accumulated phases, sorted by descending total duration
+/// (ties broken by name for stable output).
+pub fn take() -> Vec<(&'static str, Duration)> {
+    let mut map = PHASES.lock().unwrap_or_else(|e| e.into_inner());
+    let mut v: Vec<_> = map.take().unwrap_or_default().into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::serial;
+
+    #[test]
+    fn phases_accumulate_across_threads() {
+        let _g = serial();
+        enable(true);
+        take();
+        add("phase-test-main", Duration::from_millis(2));
+        std::thread::spawn(|| add("phase-test-worker", Duration::from_millis(5)))
+            .join()
+            .unwrap();
+        add("phase-test-main", Duration::from_millis(1));
+        let report = take();
+        enable(false);
+        let get = |n: &str| report.iter().find(|(p, _)| *p == n).map(|(_, d)| *d);
+        assert_eq!(get("phase-test-main"), Some(Duration::from_millis(3)));
+        assert_eq!(get("phase-test-worker"), Some(Duration::from_millis(5)));
+        // Sorted by descending duration.
+        let worker_pos = report.iter().position(|(p, _)| *p == "phase-test-worker");
+        let main_pos = report.iter().position(|(p, _)| *p == "phase-test-main");
+        assert!(worker_pos < main_pos);
+    }
+
+    #[test]
+    fn take_drains() {
+        let _g = serial();
+        add("phase-test-drain", Duration::from_millis(1));
+        assert!(take().iter().any(|(n, _)| *n == "phase-test-drain"));
+        assert!(!take().iter().any(|(n, _)| *n == "phase-test-drain"));
+    }
+}

@@ -94,13 +94,24 @@ unsafe fn call_erased<F: Fn(Range<usize>) + Sync>(data: *const (), r: Range<usiz
     (*(data as *const F))(r)
 }
 
+thread_local! {
+    /// Per-thread busy-time counter, resolved once per thread so a
+    /// drain pays one thread-local access instead of a registry lookup.
+    static BUSY_NS: &'static tgl_obs::metrics::Counter =
+        tgl_obs::metrics::counter_owned(format!("pool.busy_ns.t{}", tgl_obs::thread_id()));
+}
+
 /// Claims and executes chunks until the job's counter is exhausted.
 fn drain_job(job: &JobCore) {
+    let observing = tgl_obs::metrics::enabled() || tgl_obs::trace::enabled();
+    let started = observing.then(std::time::Instant::now);
+    let mut executed: u64 = 0;
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n_chunks {
             break;
         }
+        executed += 1;
         let start = i * job.chunk;
         let end = (start + job.chunk).min(job.total);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
@@ -115,6 +126,16 @@ fn drain_job(job: &JobCore) {
             // wakeup cannot be lost between its check and its wait.
             let _guard = job.done_lock.lock().unwrap_or_else(|e| e.into_inner());
             job.done_cv.notify_all();
+        }
+    }
+    // Record only threads that actually executed work: a helper that
+    // lost every claim race produced no busy time and no span.
+    if let (Some(started), true) = (started, executed > 0) {
+        let busy = started.elapsed();
+        tgl_obs::counter!("pool.chunks").add(executed);
+        BUSY_NS.with(|c| c.add(busy.as_nanos() as u64));
+        if tgl_obs::trace::enabled() {
+            tgl_obs::trace::record("pool.job", started, busy);
         }
     }
 }
@@ -263,9 +284,11 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(total: usize, seq_threshold: usi
     }
     let par = current_threads();
     if par <= 1 || total <= seq_threshold.max(1) || IN_POOL.with(|flag| flag.get()) {
+        tgl_obs::counter!("pool.seq_fast_path").incr();
         f(0..total);
         return;
     }
+    tgl_obs::counter!("pool.regions").incr();
     // Oversplit 4x for load balance; chunks stay big enough that the
     // per-chunk claim (one fetch_add) is noise.
     let chunk = total.div_ceil(par * 4).max(1);
@@ -293,6 +316,7 @@ pub fn parallel_for_chunks<F: Fn(usize, Range<usize>) + Sync>(
     let par = current_threads();
     let wrapped = |r: Range<usize>| f(r.start / chunk, r);
     if par <= 1 || total <= chunk || IN_POOL.with(|flag| flag.get()) {
+        tgl_obs::counter!("pool.seq_fast_path").incr();
         let n_chunks = total.div_ceil(chunk);
         for i in 0..n_chunks {
             let start = i * chunk;
@@ -300,6 +324,7 @@ pub fn parallel_for_chunks<F: Fn(usize, Range<usize>) + Sync>(
         }
         return;
     }
+    tgl_obs::counter!("pool.regions").incr();
     run_region(total, chunk, par, &wrapped);
 }
 

@@ -170,6 +170,8 @@ impl TemporalSampler {
             offsets[i + 1] = offsets[i] + counts[i];
         }
         let total = offsets[n];
+        tgl_obs::counter!("sampler.queries").add(n as u64);
+        tgl_obs::counter!("sampler.neighbors").add(total as u64);
 
         // Pass 2: every destination fills its own disjoint output rows.
         let mut out = NeighborSample {
@@ -267,6 +269,9 @@ impl TemporalSampler {
             }
             SamplingStrategy::Uniform => {
                 if avail <= self.k {
+                    // Degenerate draw: degree does not exceed k, so the
+                    // "uniform" sample is just a copy of every neighbor.
+                    tgl_obs::counter!("sampler.uniform_fallbacks").incr();
                     sn.copy_from_slice(nbrs);
                     st.copy_from_slice(etimes);
                     se.copy_from_slice(eids);

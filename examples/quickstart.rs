@@ -3,23 +3,52 @@
 //!
 //! ```sh
 //! cargo run --release -p tgl-examples --bin quickstart
+//! # with observability:
+//! cargo run --release -p tgl-examples --bin quickstart -- \
+//!     --prof --trace-out trace.json --metrics-out report.json
 //! ```
 //!
 //! This walks through the full TGLite workflow from the paper:
 //! build a `TGraph`, wrap a `TContext`, construct a model from the
 //! framework's composable pieces, and drive epochs with the harness.
+//! The observability flags mirror the `tgl` CLI: `--prof` prints the
+//! per-phase breakdown, `--trace-out` writes a Chrome trace (open in
+//! chrome://tracing or ui.perfetto.dev), `--metrics-out` writes a
+//! structured JSON run report.
 
 use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
-use tgl_harness::{TrainConfig, Trainer};
+use tgl_harness::{RunReporter, TrainConfig, Trainer};
 use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgat};
 use tglite::TContext;
 
+/// Minimal `--key value` / `--flag` scan, so the example stays free of
+/// the CLI crate.
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
+    let scale: usize = arg_value("--scale").map_or(2, |v| v.parse().expect("--scale"));
+    let epochs: usize = arg_value("--epochs").map_or(3, |v| v.parse().expect("--epochs"));
+    let show_prof = arg_flag("--prof");
+    let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
+    let metrics_out = arg_value("--metrics-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        tglite::obs::trace::enable(true);
+    }
+
     // 1. A continuous-time dynamic graph. Here: a synthetic stream
     //    shaped like the paper's Wiki dataset (bipartite user–page
     //    edits with heavy repeat interactions). Swap in
     //    `tgl_data::load_csv` for your own `src,dst,time` data.
-    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(2);
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(scale);
     let (graph, stats) = generate(&spec);
     println!(
         "graph: {} nodes, {} edges, d_v={}, d_e={}, {:.0}% repeat interactions",
@@ -60,29 +89,69 @@ fn main() {
             .sum::<usize>()
     );
 
-    // 4. Chronological 70/15/15 split and the training loop.
+    // 4. Chronological 70/15/15 split and the training loop, with an
+    //    optional run reporter snapshotting phases + counters per epoch.
     let split = Split::standard(&graph);
     let trainer = Trainer::new(
         TrainConfig {
             batch_size: 200,
-            epochs: 3,
+            epochs,
             lr: 1e-3,
             seed: 0,
         },
         spec.n_src as u32,
         spec.num_nodes() as u32,
     );
-    let (epochs, best_val, test_ap, test_s) = trainer.run(&mut model, &ctx, &split);
-    for (i, e) in epochs.iter().enumerate() {
+    let mut reporter = (show_prof || metrics_out.is_some()).then(|| {
+        let mut rep = RunReporter::start();
+        rep.set_meta("model", "TGAT");
+        rep.set_meta("dataset", "Wiki");
+        rep.set_meta_num("scale", scale as f64);
+        rep
+    });
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+    let mut best_val = 0.0f64;
+    for e in 0..epochs {
+        let s = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, e);
+        best_val = best_val.max(s.val_ap);
         println!(
             "epoch {}: loss {:.4}  val AP {:.2}%  ({:.1}s)",
-            i + 1,
-            e.loss,
-            e.val_ap * 100.0,
-            e.train_time_s
+            e + 1,
+            s.loss,
+            s.val_ap * 100.0,
+            s.train_time_s
         );
+        if let Some(rep) = reporter.as_mut() {
+            rep.record_epoch(e, &s);
+            if show_prof {
+                if let Some(er) = rep.epochs_so_far().last() {
+                    for (phase, secs) in &er.phases_s {
+                        println!("    {phase:<14} {secs:8.3}s");
+                    }
+                }
+            }
+        }
     }
+    let (test_ap, test_s) = trainer.evaluate(&mut model, &ctx, split.test.clone());
     println!("best val AP: {:.2}%", best_val * 100.0);
     println!("test AP: {:.2}% (inference took {test_s:.2}s)", test_ap * 100.0);
-    assert!(test_ap > 0.5, "model should beat random");
+
+    if let Some(rep) = reporter {
+        let report = rep.finish(test_ap, test_s);
+        if let Some(path) = &metrics_out {
+            report.save(path).expect("write run report");
+            println!("run report written to {}", path.display());
+        }
+    }
+    if let Some(path) = &trace_out {
+        let n = tglite::obs::trace::save_chrome_trace(path).expect("write trace");
+        tglite::obs::trace::enable(false);
+        println!("chrome trace with {n} spans written to {}", path.display());
+    }
+
+    // The learning signal needs the full-size stream and all epochs; a
+    // scaled-down quick run only checks the plumbing.
+    if scale <= 2 && epochs >= 3 {
+        assert!(test_ap > 0.5, "model should beat random");
+    }
 }

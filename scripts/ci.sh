@@ -13,6 +13,15 @@ cargo build --release --offline --workspace --benches
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> quickstart with tracing + metrics"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+TGL_THREADS=2 cargo run --release --offline -q -p tgl-examples --bin quickstart -- \
+    --scale 8 --epochs 1 \
+    --prof --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/report.json"
+./target/release/tgl jsoncheck "$OBS_DIR/trace.json"
+./target/release/tgl jsoncheck "$OBS_DIR/report.json"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline -D warnings"
     cargo clippy --offline --workspace --all-targets -- -D warnings

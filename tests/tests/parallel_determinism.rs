@@ -149,6 +149,89 @@ fn sampler_repeatable_with_fixed_seed() {
     set_threads(1);
 }
 
+/// Counter delta of every `cache.` / `dedup.` / `sampler.` counter
+/// across one run of `f`. Pool counters are excluded by design: chunk
+/// counts and per-worker busy time legitimately vary with the thread
+/// count, while the subsystem counters meter *what* was computed and
+/// must not depend on how the work was partitioned.
+fn subsystem_counter_delta(f: impl FnOnce()) -> Vec<(&'static str, u64)> {
+    let relevant = |name: &str| {
+        name.starts_with("cache.") || name.starts_with("dedup.") || name.starts_with("sampler.")
+    };
+    let before: Vec<_> = tglite::obs::metrics::snapshot()
+        .into_iter()
+        .filter(|(n, _)| relevant(n))
+        .collect();
+    f();
+    tglite::obs::metrics::snapshot()
+        .into_iter()
+        .filter(|(n, _)| relevant(n))
+        .map(|(n, v)| {
+            let base = before.iter().find(|(bn, _)| *bn == n).map_or(0, |(_, bv)| *bv);
+            (n, v - base)
+        })
+        .collect()
+}
+
+#[test]
+fn subsystem_counters_invariant_across_thread_counts() {
+    let _g = serial();
+    let (g, _) = tiny_wiki();
+    let csr = g.tcsr();
+    let ctx = tglite::TContext::new(std::sync::Arc::clone(&g));
+    let n = 512usize;
+    let nodes: Vec<u32> = (0..n as u32).map(|i| i % g.num_nodes() as u32).collect();
+    let times: Vec<f64> = vec![g.max_time(); n];
+    assert_invariant("cache/dedup/sampler counter deltas", || {
+        let delta = subsystem_counter_delta(|| {
+            TemporalSampler::new(10, SamplingStrategy::Uniform)
+                .with_seed(99)
+                .sample(&csr, &nodes, &times);
+            let blk = tglite::TBlock::new(&ctx, 0, nodes.clone(), times.clone());
+            tglite::op::dedup(&blk);
+            tglite::TSampler::new(10, SamplingStrategy::Recent).sample(&blk);
+        });
+        // The workload must actually touch each metered subsystem, or
+        // the invariance assertion would vacuously compare zeros.
+        for prefix in ["dedup.", "sampler."] {
+            assert!(
+                delta.iter().any(|(n, v)| n.starts_with(prefix) && *v > 0),
+                "workload never advanced a {prefix}* counter: {delta:?}"
+            );
+        }
+        delta
+    });
+}
+
+#[test]
+fn training_counters_invariant_across_thread_counts() {
+    let _g = serial();
+    // A full (tiny) TGLite+opt training epoch: the embed cache only
+    // runs inside a model, so this is the path that exercises the
+    // `cache.*` counters. Training itself is bitwise thread-invariant,
+    // and the counters meter its data flow, so the deltas must be too.
+    let mut cfg = tgl_harness::ExperimentConfig::paper_default(
+        tgl_harness::Framework::TgLiteOpt,
+        tgl_harness::ModelKind::Tgat,
+        tgl_data::DatasetKind::Wiki,
+        tgl_harness::Placement::AllOnDevice,
+    );
+    cfg.dataset = cfg.dataset.scaled_down(20);
+    cfg.model_cfg = tgl_models::ModelConfig::tiny();
+    cfg.train_cfg.epochs = 1;
+    cfg.train_cfg.batch_size = 60;
+    assert_invariant("training counter deltas", || {
+        let delta = subsystem_counter_delta(|| {
+            tgl_harness::run_experiment(&cfg);
+        });
+        assert!(
+            delta.iter().any(|(n, v)| n.starts_with("cache.") && *v > 0),
+            "TGLite+opt epoch never advanced a cache.* counter: {delta:?}"
+        );
+        delta
+    });
+}
+
 #[test]
 fn sum_all_matches_sequential_within_tolerance() {
     let _g = serial();
