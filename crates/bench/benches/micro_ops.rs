@@ -139,6 +139,61 @@ fn bench_matmul() {
     report("matmul_256", || a.matmul(&b));
 }
 
+/// One measured cell of the single-thread GEMM series.
+struct GemmCell {
+    m: usize,
+    k: usize,
+    n: usize,
+    secs: f64,
+    gflops: f64,
+}
+
+/// Times the cache-blocked GEMM on one thread over a size series that
+/// spans the L1/L2 tiling regimes and writes `BENCH_micro_gemm.json`.
+/// GFLOP/s uses the usual 2·m·k·n flop count for C += A·B.
+fn bench_gemm_series() {
+    const SIZES: [(usize, usize, usize); 6] = [
+        (64, 64, 64),
+        (128, 128, 128),
+        (256, 256, 256),
+        (512, 512, 512),
+        (384, 768, 96),  // skinny output panel (embedding-sized)
+        (96, 384, 768),  // wide output panel
+    ];
+    set_threads(1);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cells = Vec::new();
+    println!();
+    println!("== single-thread GEMM series (blocked kernel) ==");
+    for (m, k, n) in SIZES {
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let secs = time_it(|| a.matmul(&b), 0.4);
+        let gflops = 2.0 * (m * k * n) as f64 / secs / 1e9;
+        println!("  gemm_{m}x{k}x{n:<24} {:>12.1} us/iter  {gflops:>7.2} GFLOP/s", secs * 1e6);
+        cells.push(GemmCell { m, k, n, secs, gflops });
+    }
+    let mut s = String::from("{\n  \"threads\": 1,\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"secs\": {:.6e}, \"gflops\": {:.3}}}{}\n",
+            c.m,
+            c.k,
+            c.n,
+            c.secs,
+            c.gflops,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_micro_gemm.json");
+    match std::fs::write(&path, &s) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 /// One measured cell of the thread sweep.
 struct SweepCell {
     bench: &'static str,
@@ -228,6 +283,7 @@ fn main() {
     bench_transfers();
     bench_sampling_block_path();
     bench_matmul();
+    bench_gemm_series();
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let counts: Vec<usize> = [1usize, 2, 4, 8]

@@ -74,13 +74,15 @@ impl Memory {
         tgl_obs::counter!("memory.rows_written").add(nodes.len() as u64);
         assert_eq!(values.dims(), &[nodes.len(), self.dim], "memory store shape");
         assert_eq!(nodes.len(), times.len(), "memory store times length");
-        let src = values.to_vec();
-        self.data.with_data_mut(|data| {
-            for (k, &n) in nodes.iter().enumerate() {
-                let n = n as usize;
-                data[n * self.dim..(n + 1) * self.dim]
-                    .copy_from_slice(&src[k * self.dim..(k + 1) * self.dim]);
-            }
+        // Scatter straight from the source storage — no staging copy.
+        values.with_data(|src| {
+            self.data.with_data_mut(|data| {
+                for (k, &n) in nodes.iter().enumerate() {
+                    let n = n as usize;
+                    data[n * self.dim..(n + 1) * self.dim]
+                        .copy_from_slice(&src[k * self.dim..(k + 1) * self.dim]);
+                }
+            });
         });
         let mut t = self.time.write();
         for (&n, &ts) in nodes.iter().zip(times) {

@@ -97,11 +97,11 @@ impl Jodie {
         let n = nodes.len();
         let dt = Tensor::from_vec(deltas, [n, 1]).to(ctx.device());
         let scale = dt.mul(&self.projector).add_scalar(1.0); // [n, mem_dim]
-        let projected = mem.mul(&scale);
         let nfeat = self
             .feat_linear
             .forward(&g.node_feat_rows(nodes).to(ctx.device()));
-        projected.add(&nfeat)
+        // (1 + Δt·w) ⊙ mem + W_f x fused into one kernel.
+        nfeat.addcmul(mem, &scale, 1.0)
     }
 
     /// Scores candidate `(src, dst)` pairs at the given times *without*

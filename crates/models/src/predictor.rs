@@ -37,7 +37,9 @@ impl EdgePredictor {
 
     /// Logits for each row pair: `[n, emb] × [n, emb] → [n]`.
     pub fn forward(&self, src: &Tensor, dst: &Tensor) -> Tensor {
-        let h = self.src_fc.forward(src).add(&self.dst_fc.forward(dst)).relu();
+        // Fused add+ReLU: one kernel, one output buffer, and no
+        // intermediate sum captured by autograd.
+        let h = self.src_fc.forward(src).add_relu(&self.dst_fc.forward(dst));
         let n = h.dim(0);
         self.out_fc.forward(&h).reshape([n])
     }

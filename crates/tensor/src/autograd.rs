@@ -8,6 +8,7 @@
 //! simple priority sweep with gradient accumulation.
 
 use std::cell::Cell;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 use crate::tensor::Tensor;
@@ -111,6 +112,7 @@ impl Tensor {
                     for (input, g) in node.inputs.iter().zip(input_grads) {
                         let Some(g) = g else { continue };
                         if !input.inner.requires_grad {
+                            crate::pool::give(g, input.device());
                             continue;
                         }
                         assert_eq!(
@@ -119,19 +121,26 @@ impl Tensor {
                             "gradient shape mismatch for input {}",
                             input.shape()
                         );
-                        pending
-                            .entry(input.id())
-                            .and_modify(|(_, acc)| {
-                                for (a, b) in acc.iter_mut().zip(&g) {
+                        match pending.entry(input.id()) {
+                            Entry::Occupied(mut e) => {
+                                for (a, b) in e.get_mut().1.iter_mut().zip(&g) {
                                     *a += b;
                                 }
-                            })
-                            .or_insert_with(|| (input.clone(), g));
+                                crate::pool::give(g, input.device());
+                            }
+                            Entry::Vacant(e) => {
+                                e.insert((input.clone(), g));
+                            }
+                        }
                     }
+                    // The output gradient this node consumed is dead now.
+                    crate::pool::give(grad, tensor.device());
                 }
                 None => {
                     if tensor.inner.requires_grad {
-                        tensor.accumulate_grad(&grad);
+                        tensor.accumulate_grad_owned(grad);
+                    } else {
+                        crate::pool::give(grad, tensor.device());
                     }
                 }
             }

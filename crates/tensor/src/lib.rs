@@ -36,6 +36,7 @@ mod loss;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 mod serialize;
 mod shape;
 mod storage;

@@ -43,6 +43,17 @@ impl Linear {
         }
     }
 
+    /// Applies the layer followed by ReLU in one fused kernel
+    /// (`relu(x·Wᵀ + b)`), saving the intermediate sum tensor that
+    /// `forward(x).relu()` would allocate and capture for backward.
+    pub fn forward_relu(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.weight.transpose());
+        match &self.bias {
+            Some(b) => y.add_relu(b),
+            None => y.relu(),
+        }
+    }
+
     /// Input feature count.
     pub fn in_features(&self) -> usize {
         self.weight.dim(1)

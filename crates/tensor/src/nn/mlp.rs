@@ -21,9 +21,10 @@ impl Mlp {
         }
     }
 
-    /// Applies the network to `x: [N, in]`.
+    /// Applies the network to `x: [N, in]` (hidden layer uses the fused
+    /// add+ReLU kernel).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.fc2.forward(&self.fc1.forward(x).relu())
+        self.fc2.forward(&self.fc1.forward_relu(x))
     }
 
     /// Output feature count.

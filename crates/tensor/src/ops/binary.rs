@@ -3,6 +3,7 @@
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
 use crate::ops::{same_device, ELEMWISE_SEQ};
+use crate::pool;
 use crate::shape::Shape;
 use crate::Tensor;
 
@@ -91,7 +92,9 @@ fn binary_elementwise(
 
     let a_data = a.inner.storage.read();
     let b_data = b.inner.storage.read();
-    let mut out = vec![0.0f32; out_shape.numel()];
+    // Every output element is written below, so recycled pool memory
+    // needs no zero pass.
+    let mut out = pool::take_uninit(out_shape.numel(), device);
     if a.shape() == b.shape() {
         // Fast path: identical shapes — chunked across the pool.
         let out_sl = UnsafeSlice::new(&mut out);
@@ -120,8 +123,13 @@ fn binary_elementwise(
     Tensor::make_result(out, out_shape, device, &[a.clone(), b.clone()], move |go| {
         let a_data = a_c.inner.storage.read();
         let b_data = b_c.inner.storage.read();
-        let mut ga = vec![0.0f32; a_n];
-        let mut gb = vec![0.0f32; b_n];
+        // Same-shape gradients are fully overwritten; broadcast
+        // gradients accumulate with `+=` and must start zeroed.
+        let (mut ga, mut gb) = if same {
+            (pool::take_uninit(a_n, device), pool::take_uninit(b_n, device))
+        } else {
+            (pool::take_zeroed(a_n, device), pool::take_zeroed(b_n, device))
+        };
         if same {
             let ga_sl = UnsafeSlice::new(&mut ga);
             let gb_sl = UnsafeSlice::new(&mut gb);

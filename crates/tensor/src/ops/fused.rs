@@ -1,0 +1,340 @@
+//! Fused differentiable operators.
+//!
+//! Each fusion collapses a chain of elementwise ops into one kernel:
+//! a single output buffer instead of one per link, one backward node
+//! instead of a chain, and no intermediate activations captured for
+//! the graph. All buffers come from the tensor pool; backward-pass
+//! copies are wrapped in [`PooledBuf`] so tearing down the graph at the
+//! end of a batch recycles them too.
+//!
+//! Thread-count invariance: forward and input-gradient kernels are
+//! elementwise (each output element computed independently); the bias
+//! reduction in [`Tensor::add_relu`] parallelizes over *columns*, each
+//! summing its rows in ascending order regardless of thread count.
+
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
+use crate::ops::{rows_threshold, same_device, ELEMWISE_SEQ};
+use crate::pool::{self, PooledBuf};
+use crate::Tensor;
+
+impl Tensor {
+    /// Fused `relu(self + bias)`.
+    ///
+    /// `bias` is either the same shape as `self` or a rank-1 tensor
+    /// broadcast across the last dimension (the `Linear → ReLU` pattern;
+    /// its gradient sums over rows). Numerically identical to
+    /// `self.add(bias).relu()`, including the gradient's behavior at
+    /// exactly zero, but allocates one tensor instead of two and skips
+    /// the intermediate sum in the autograd graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or devices differ.
+    pub fn add_relu(&self, bias: &Tensor) -> Tensor {
+        let device = same_device(self, bias);
+        let n = self.numel();
+        let d = bias.numel();
+        let same = self.dims() == bias.dims();
+        assert!(
+            same || (bias.rank() == 1 && d == *self.dims().last().unwrap_or(&0)),
+            "add_relu bias {} does not broadcast over {}",
+            bias.shape(),
+            self.shape()
+        );
+
+        let mut y = pool::take_uninit(n, device);
+        {
+            let a = self.inner.storage.read();
+            let b = bias.inner.storage.read();
+            let y_sl = UnsafeSlice::new(&mut y);
+            let (a, b) = (&a, &b);
+            parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                // SAFETY: chunks partition the element space.
+                let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
+                if same {
+                    for (k, i) in r.enumerate() {
+                        out[k] = (a[i] + b[i]).max(0.0);
+                    }
+                } else {
+                    for (k, i) in r.enumerate() {
+                        out[k] = (a[i] + b[i % d]).max(0.0);
+                    }
+                }
+            });
+        }
+
+        // The mask (y > 0) is recoverable from the output alone, so
+        // backward only captures a pooled copy of y.
+        let y_copy = {
+            let mut c = pool::take_uninit(n, device);
+            c.copy_from_slice(&y);
+            PooledBuf::new(c, device)
+        };
+        Tensor::make_result(
+            y,
+            self.shape().clone(),
+            device,
+            &[self.clone(), bias.clone()],
+            move |go| {
+                let n = y_copy.len();
+                let mut ga = pool::take_uninit(n, device);
+                {
+                    let ga_sl = UnsafeSlice::new(&mut ga);
+                    let y = &y_copy;
+                    parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                        // SAFETY: chunks partition the element space.
+                        let out = unsafe { ga_sl.slice_mut(r.start, r.len()) };
+                        for (k, i) in r.enumerate() {
+                            out[k] = if y[i] > 0.0 { go[i] } else { 0.0 };
+                        }
+                    });
+                }
+                let gb = if same {
+                    let mut gb = pool::take_uninit(n, device);
+                    gb.copy_from_slice(&ga);
+                    gb
+                } else {
+                    // Column-wise row sum: each column is one output
+                    // element, summed over rows in ascending order.
+                    let mut gb = pool::take_uninit(d, device);
+                    let rows = n / d.max(1);
+                    let gb_sl = UnsafeSlice::new(&mut gb);
+                    let y = &y_copy;
+                    parallel_for(d, rows_threshold(rows), |cols: std::ops::Range<usize>| {
+                        // SAFETY: columns partition the bias elements.
+                        let out = unsafe { gb_sl.slice_mut(cols.start, cols.len()) };
+                        for (k, j) in cols.enumerate() {
+                            let mut acc = 0.0f32;
+                            for r in 0..rows {
+                                let i = r * d + j;
+                                if y[i] > 0.0 {
+                                    acc += go[i];
+                                }
+                            }
+                            out[k] = acc;
+                        }
+                    });
+                    gb
+                };
+                vec![Some(ga), Some(gb)]
+            },
+        )
+    }
+
+    /// Fused `self * s + other` (same shape).
+    ///
+    /// One kernel and one backward node instead of the
+    /// `mul_scalar → add` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or device mismatch.
+    pub fn scale_add(&self, s: f32, other: &Tensor) -> Tensor {
+        let device = same_device(self, other);
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "scale_add requires matching shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let n = self.numel();
+        let mut y = pool::take_uninit(n, device);
+        {
+            let a = self.inner.storage.read();
+            let b = other.inner.storage.read();
+            let y_sl = UnsafeSlice::new(&mut y);
+            let (a, b) = (&a, &b);
+            parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                // SAFETY: chunks partition the element space.
+                let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
+                for (k, i) in r.enumerate() {
+                    out[k] = a[i] * s + b[i];
+                }
+            });
+        }
+        Tensor::make_result(
+            y,
+            self.shape().clone(),
+            device,
+            &[self.clone(), other.clone()],
+            move |go| {
+                let mut ga = pool::take_uninit(go.len(), device);
+                let mut gb = pool::take_uninit(go.len(), device);
+                for i in 0..go.len() {
+                    ga[i] = go[i] * s;
+                }
+                gb.copy_from_slice(go);
+                vec![Some(ga), Some(gb)]
+            },
+        )
+    }
+
+    /// Fused `self + scale * a * b` (all same shape) — the GRU gate
+    /// combination `h' = n + z ⊙ (h − n)` in one kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or device mismatch.
+    pub fn addcmul(&self, a: &Tensor, b: &Tensor, scale: f32) -> Tensor {
+        let device = same_device(self, a);
+        same_device(a, b);
+        assert!(
+            self.dims() == a.dims() && a.dims() == b.dims(),
+            "addcmul requires matching shapes: {} vs {} vs {}",
+            self.shape(),
+            a.shape(),
+            b.shape()
+        );
+        let n = self.numel();
+        let mut y = pool::take_uninit(n, device);
+        {
+            let base = self.inner.storage.read();
+            let ad = a.inner.storage.read();
+            let bd = b.inner.storage.read();
+            let y_sl = UnsafeSlice::new(&mut y);
+            let (base, ad, bd) = (&base, &ad, &bd);
+            parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                // SAFETY: chunks partition the element space.
+                let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
+                for (k, i) in r.enumerate() {
+                    out[k] = base[i] + scale * ad[i] * bd[i];
+                }
+            });
+        }
+        let (a_c, b_c) = (a.clone(), b.clone());
+        Tensor::make_result(
+            y,
+            self.shape().clone(),
+            device,
+            &[self.clone(), a.clone(), b.clone()],
+            move |go| {
+                let ad = a_c.inner.storage.read();
+                let bd = b_c.inner.storage.read();
+                let mut gbase = pool::take_uninit(go.len(), device);
+                let mut ga = pool::take_uninit(go.len(), device);
+                let mut gb = pool::take_uninit(go.len(), device);
+                gbase.copy_from_slice(go);
+                for i in 0..go.len() {
+                    ga[i] = go[i] * scale * bd[i];
+                    gb[i] = go[i] * scale * ad[i];
+                }
+                vec![Some(gbase), Some(ga), Some(gb)]
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn add_relu_matches_unfused_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, -0.1], [2, 2]);
+        let b = Tensor::from_vec(vec![-0.5, 3.0, -1.0, 0.1], [2, 2]);
+        assert_eq!(a.add_relu(&b).to_vec(), a.add(&b).relu().to_vec());
+    }
+
+    #[test]
+    fn add_relu_matches_unfused_row_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, -0.1, 2.0, -3.0], [2, 3]);
+        let b = Tensor::from_vec(vec![-0.5, 3.0, 0.0], [3]);
+        assert_eq!(a.add_relu(&b).to_vec(), a.add(&b).relu().to_vec());
+    }
+
+    #[test]
+    fn add_relu_grads_match_unfused() {
+        let mk = || {
+            (
+                Tensor::from_vec(vec![1.0, -2.0, 0.5, -0.1, 2.0, -3.0], [2, 3])
+                    .requires_grad(true),
+                Tensor::from_vec(vec![-0.5, 3.0, 0.1], [3]).requires_grad(true),
+            )
+        };
+        let (a1, b1) = mk();
+        a1.add_relu(&b1).sum_all().backward();
+        let (a2, b2) = mk();
+        a2.add(&b2).relu().sum_all().backward();
+        assert_eq!(a1.grad().unwrap(), a2.grad().unwrap());
+        assert_eq!(b1.grad().unwrap(), b2.grad().unwrap());
+    }
+
+    #[test]
+    fn add_relu_gradcheck() {
+        // Inputs chosen away from the ReLU kink (finite differences
+        // would straddle it).
+        let a = Tensor::from_vec(vec![0.8, -1.5, 0.6, -0.9], [2, 2]).requires_grad(true);
+        let b = Tensor::from_vec(vec![0.3, 0.4], [2]);
+        check_gradient(&a, |t| t.add_relu(&b).sum_all(), 1e-2);
+        let a2 = Tensor::from_vec(vec![0.8, -1.5, 0.6, -0.9], [2, 2]);
+        let b2 = Tensor::from_vec(vec![0.3, 0.4], [2]).requires_grad(true);
+        check_gradient(&b2, |t| a2.add_relu(t).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn scale_add_matches_unfused() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], [3]);
+        assert_eq!(
+            a.scale_add(2.0, &b).to_vec(),
+            a.mul_scalar(2.0).add(&b).to_vec()
+        );
+    }
+
+    #[test]
+    fn scale_add_gradcheck() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3]).requires_grad(true);
+        let b = Tensor::from_vec(vec![1.0, 2.0, -1.0], [3]);
+        check_gradient(&a, |t| t.scale_add(-1.5, &b).sum_all(), 1e-2);
+        let a2 = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3]);
+        let b2 = Tensor::from_vec(vec![1.0, 2.0, -1.0], [3]).requires_grad(true);
+        check_gradient(&b2, |t| a2.scale_add(-1.5, t).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn addcmul_matches_unfused() {
+        let base = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3]);
+        let b = Tensor::from_vec(vec![4.0, 3.0, -2.0], [3]);
+        assert_close(
+            &base.addcmul(&a, &b, 2.0).to_vec(),
+            &base.add(&a.mul(&b).mul_scalar(2.0)).to_vec(),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn addcmul_gradcheck_all_inputs() {
+        let vals = vec![0.5f32, -1.0, 2.0, 0.3];
+        let others = (
+            Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], [4]),
+            Tensor::from_vec(vec![0.4, -0.8, 1.1, 2.0], [4]),
+        );
+        let base = Tensor::from_vec(vals.clone(), [4]).requires_grad(true);
+        check_gradient(&base, |t| t.addcmul(&others.0, &others.1, 1.5).sum_all(), 1e-2);
+        let a = Tensor::from_vec(vals.clone(), [4]).requires_grad(true);
+        check_gradient(&a, |t| others.0.addcmul(t, &others.1, 1.5).sum_all(), 1e-2);
+        let b = Tensor::from_vec(vals, [4]).requires_grad(true);
+        check_gradient(&b, |t| others.0.addcmul(&others.1, t, 1.5).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn gru_style_fusion_matches_convex_combination() {
+        // h' = n + z*(h - n) == (1-z)*n + z*h
+        let n = Tensor::from_vec(vec![0.1, -0.5, 0.9], [3]);
+        let z = Tensor::from_vec(vec![0.2, 0.7, 0.5], [3]);
+        let h = Tensor::from_vec(vec![1.0, -1.0, 0.0], [3]);
+        let fused = n.addcmul(&z, &h.sub(&n), 1.0);
+        let unfused = z.neg().add_scalar(1.0).mul(&n).add(&z.mul(&h));
+        assert_close(&fused.to_vec(), &unfused.to_vec(), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not broadcast")]
+    fn add_relu_bad_bias_panics() {
+        Tensor::zeros([2, 3]).add_relu(&Tensor::zeros([4]));
+    }
+}

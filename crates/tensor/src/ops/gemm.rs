@@ -1,0 +1,425 @@
+//! Cache-blocked GEMM micro-kernels.
+//!
+//! The three 2-D kernels (`nn`, `nt`, `tn`) keep the contract from the
+//! naive kernels they replace: output rows are partitioned across the
+//! `tgl-runtime` pool, and **every output element accumulates its
+//! products in ascending reduction-index order** regardless of
+//! blocking, so results are bitwise identical to the unblocked kernels
+//! and invariant across thread counts.
+//!
+//! What blocking changes is the *memory* schedule:
+//!
+//! * `mm_nn` walks K in [`KC`]-deep blocks and packs the corresponding
+//!   B rows into [`NR`]-wide column panels (one pooled scratch buffer
+//!   per row chunk). A panel tile (`KC × NR × 4 B` = 8 KiB) stays
+//!   L1-resident while a [`MR`]`×`[`NR`] register tile of C accumulates
+//!   across it, and the packed block is reused by every output row of
+//!   the chunk instead of streaming all of B once per row.
+//! * `mm_nt` needs no packing (both operands are traversed row-major);
+//!   it blocks [`MR`] output rows so each B row load is shared by four
+//!   concurrent dot products.
+//! * `mm_tn` walks M in [`MC`]-row blocks, packing the A block
+//!   transposed (one pooled buffer per chunk) so its strided
+//!   column reads happen once per block, and keeping the B block
+//!   (`MC × n`) cache-resident across all output rows of the chunk.
+//!
+//! Operands that are mostly zero (one-hot features) take the original
+//! zero-skipping row loops instead — branchy but proportional to the
+//! nonzero count.
+
+use tgl_device::Device;
+use tgl_runtime::{parallel_for, UnsafeSlice};
+
+use crate::pool;
+
+/// Rows of A per register tile.
+pub(crate) const MR: usize = 4;
+/// Columns of B per packed panel (32 B = half a cache line of `f32`s;
+/// `MR × NR` = 32 accumulators fit the x86-64 SSE register file).
+pub(crate) const NR: usize = 8;
+/// K-depth of a packed B block.
+pub(crate) const KC: usize = 256;
+/// M-depth of a packed A block in the `tn` kernel.
+pub(crate) const MC: usize = 64;
+
+/// Multiply-add count below which a matmul runs inline on the caller;
+/// pool dispatch costs more than the arithmetic.
+const MM_SEQ_FLOPS: usize = 32 * 1024;
+
+/// Output rows (of `row_flops` multiply-adds each) per sequential-path
+/// threshold — feeds `parallel_for`'s element threshold.
+pub(crate) fn seq_rows(row_flops: usize) -> usize {
+    (MM_SEQ_FLOPS / row_flops.max(1)).max(1)
+}
+
+/// Cheap sparsity probe: samples up to 256 evenly spaced elements and
+/// reports whether more than half are exactly zero. The zero-skip
+/// branch in the `nn`/`tn` kernels only pays off on such operands; on
+/// dense data it costs a branch per inner-loop trip.
+pub(crate) fn mostly_zero(x: &[f32]) -> bool {
+    if x.is_empty() {
+        return false;
+    }
+    // Round the stride *up* so the probe honors its 256-sample cap
+    // (`len / 256` rounded down could sample up to 511 elements).
+    let step = x.len().div_ceil(256);
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    let mut i = 0;
+    while i < x.len() {
+        total += 1;
+        if x[i] == 0.0 {
+            zeros += 1;
+        }
+        i += step;
+    }
+    zeros * 2 > total
+}
+
+/// C[m,n] += A[m,k] * B[k,n]
+pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if mostly_zero(a) {
+        return mm_nn_sparse(a, b, c, m, k, n);
+    }
+    let n_tiles = n.div_ceil(NR);
+    let c = UnsafeSlice::new(c);
+    parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: chunks partition the row space, so these row ranges
+        // are disjoint.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        let (r0, rows_n) = (rows.start, rows.len());
+        let mut panel = pool::take_uninit(KC.min(k.max(1)) * n_tiles * NR, Device::Host);
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            // Pack B[k0..k0+kc, :] into NR-wide panels: panel `jt`
+            // holds rows kk-major, zero-padded past column n.
+            for jt in 0..n_tiles {
+                let jw = NR.min(n - jt * NR);
+                let dst = &mut panel[jt * kc * NR..(jt + 1) * kc * NR];
+                for kk in 0..kc {
+                    let d = &mut dst[kk * NR..(kk + 1) * NR];
+                    d[..jw].copy_from_slice(&b[(k0 + kk) * n + jt * NR..][..jw]);
+                    d[jw..].fill(0.0);
+                }
+            }
+            let mut i = 0;
+            while i < rows_n {
+                let ih = MR.min(rows_n - i);
+                // A row segments for this tile, contiguous over kk.
+                let a_seg = |r: usize| &a[(r0 + i + r) * k + k0..][..kc];
+                for jt in 0..n_tiles {
+                    let jw = NR.min(n - jt * NR);
+                    let pan = &panel[jt * kc * NR..(jt + 1) * kc * NR];
+                    if ih == MR {
+                        let ar = [a_seg(0), a_seg(1), a_seg(2), a_seg(3)];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, row) in acc.iter_mut().enumerate() {
+                            row[..jw].copy_from_slice(&c_rows[(i + r) * n + jt * NR..][..jw]);
+                        }
+                        for kk in 0..kc {
+                            let pb = &pan[kk * NR..(kk + 1) * NR];
+                            for (r, row) in acc.iter_mut().enumerate() {
+                                let av = ar[r][kk];
+                                for (o, &bv) in row.iter_mut().zip(pb) {
+                                    *o += av * bv;
+                                }
+                            }
+                        }
+                        for (r, row) in acc.iter().enumerate() {
+                            c_rows[(i + r) * n + jt * NR..][..jw].copy_from_slice(&row[..jw]);
+                        }
+                    } else {
+                        for r in 0..ih {
+                            let arow = a_seg(r);
+                            let mut acc = [0.0f32; NR];
+                            acc[..jw].copy_from_slice(&c_rows[(i + r) * n + jt * NR..][..jw]);
+                            for (kk, &av) in arow.iter().enumerate() {
+                                let pb = &pan[kk * NR..(kk + 1) * NR];
+                                for (o, &bv) in acc.iter_mut().zip(pb) {
+                                    *o += av * bv;
+                                }
+                            }
+                            c_rows[(i + r) * n + jt * NR..][..jw].copy_from_slice(&acc[..jw]);
+                        }
+                    }
+                }
+                i += ih;
+            }
+            k0 += kc;
+        }
+        pool::give(panel, Device::Host);
+    });
+}
+
+/// Zero-skipping reference loop for mostly-zero A (identical
+/// floating-point order: k ascending per output element).
+fn mm_nn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let c = UnsafeSlice::new(c);
+    parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        for (ri, i) in rows.enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    });
+}
+
+/// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
+pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    let c = UnsafeSlice::new(c);
+    parallel_for(m, seq_rows(n * k), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * k, rows.len() * k) };
+        let (r0, rows_n) = (rows.start, rows.len());
+        let mut i = 0;
+        while i < rows_n {
+            let ih = MR.min(rows_n - i);
+            for j in 0..k {
+                let b_row = &b[j * n..(j + 1) * n];
+                // Each loaded B row feeds `ih` dot products.
+                for r in 0..ih {
+                    let a_row = &a[(r0 + i + r) * n..][..n];
+                    // 4-way partial sums so the reduction can vectorize.
+                    let mut acc = [0.0f32; 4];
+                    let chunks = n / 4;
+                    for q in 0..chunks {
+                        let p = q * 4;
+                        acc[0] += a_row[p] * b_row[p];
+                        acc[1] += a_row[p + 1] * b_row[p + 1];
+                        acc[2] += a_row[p + 2] * b_row[p + 2];
+                        acc[3] += a_row[p + 3] * b_row[p + 3];
+                    }
+                    let mut tail = 0.0f32;
+                    for p in chunks * 4..n {
+                        tail += a_row[p] * b_row[p];
+                    }
+                    c_rows[(i + r) * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+                }
+            }
+            i += ih;
+        }
+    });
+}
+
+/// C[k,n] += A[m,k]^T * B[m,n]  (i.e. Aᵀ · B)
+///
+/// Parallelized over output rows (columns of A): each `kk` accumulates
+/// over `i` in ascending order (`MC`-blocked, blocks ascending),
+/// matching the sequential kernel's floating-point order exactly.
+pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if mostly_zero(a) {
+        return mm_tn_sparse(a, b, c, m, k, n);
+    }
+    let c = UnsafeSlice::new(c);
+    parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        let kw = rows.len();
+        let mut ap = pool::take_uninit(MC.min(m.max(1)) * kw, Device::Host);
+        let mut i0 = 0;
+        while i0 < m {
+            let mc = MC.min(m - i0);
+            // Pack A[i0..i0+mc, rows] transposed so the strided column
+            // reads happen once per block.
+            for (kl, kk) in rows.clone().enumerate() {
+                for ii in 0..mc {
+                    ap[kl * mc + ii] = a[(i0 + ii) * k + kk];
+                }
+            }
+            // The B block rows i0..i0+mc stay cache-resident across
+            // every output row of this chunk.
+            for kl in 0..kw {
+                let a_col = &ap[kl * mc..(kl + 1) * mc];
+                let c_row = &mut c_rows[kl * n..(kl + 1) * n];
+                for (ii, &av) in a_col.iter().enumerate() {
+                    let b_row = &b[(i0 + ii) * n..][..n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += av * bj;
+                    }
+                }
+            }
+            i0 += mc;
+        }
+        pool::give(ap, Device::Host);
+    });
+}
+
+/// Zero-skipping reference loop for mostly-zero A (identical
+/// floating-point order: i ascending per output element).
+fn mm_tn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let c = UnsafeSlice::new(c);
+    parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
+        // SAFETY: disjoint row ranges per chunk.
+        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
+        for (ri, kk) in rows.enumerate() {
+            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
+            for i in 0..m {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[i * n..(i + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, salt: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i * 37 + salt * 11) % 101) as f32 * 0.02 - 1.0).collect()
+    }
+
+    fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Sizes straddling every tile boundary: below MR/NR, exact
+    /// multiples, one over, and spanning multiple KC/MC blocks.
+    const SIZES: [(usize, usize, usize); 8] = [
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 8, 8),
+        (5, 9, 17),
+        (4, 256, 8),
+        (5, 257, 9),
+        (65, 300, 33),
+        (7, 513, 31),
+    ];
+
+    #[test]
+    fn blocked_nn_matches_naive_bitwise() {
+        for (m, k, n) in SIZES {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let want = naive_nn(&a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            mm_nn(&a, &b, &mut got, m, k, n);
+            // Same k-ascending order per element => bitwise equal.
+            assert_eq!(got, want, "mm_nn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_nt_matches_reference() {
+        for (m, n, k) in SIZES {
+            let a = fill(m * n, 3);
+            let b = fill(k * n, 4);
+            // Reference: A[m,n] · B[k,n]^T via naive loops with the
+            // same 4-lane reduction order.
+            let mut want = vec![0.0f32; m * k];
+            for i in 0..m {
+                for j in 0..k {
+                    let (ar, br) = (&a[i * n..(i + 1) * n], &b[j * n..(j + 1) * n]);
+                    let mut acc = [0.0f32; 4];
+                    let chunks = n / 4;
+                    for q in 0..chunks {
+                        let p = q * 4;
+                        for l in 0..4 {
+                            acc[l] += ar[p + l] * br[p + l];
+                        }
+                    }
+                    let mut tail = 0.0f32;
+                    for p in chunks * 4..n {
+                        tail += ar[p] * br[p];
+                    }
+                    want[i * k + j] = acc[0] + acc[1] + acc[2] + acc[3] + tail;
+                }
+            }
+            let mut got = vec![0.0f32; m * k];
+            mm_nt(&a, &b, &mut got, m, n, k);
+            assert_eq!(got, want, "mm_nt {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn blocked_tn_matches_naive_bitwise() {
+        for (m, k, n) in SIZES {
+            let a = fill(m * k, 5);
+            let b = fill(m * n, 6);
+            // want[kk,j] = sum_i (i ascending) a[i,kk] * b[i,j]
+            let mut want = vec![0.0f32; k * n];
+            for kk in 0..k {
+                for i in 0..m {
+                    let aik = a[i * k + kk];
+                    for j in 0..n {
+                        want[kk * n + j] += aik * b[i * n + j];
+                    }
+                }
+            }
+            let mut got = vec![0.0f32; k * n];
+            mm_tn(&a, &b, &mut got, m, k, n);
+            assert_eq!(got, want, "mm_tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn sparse_operand_takes_skip_path_and_matches() {
+        let (m, k, n) = (33, 40, 21);
+        let mut a = vec![0.0f32; m * k];
+        for i in (0..m * k).step_by(7) {
+            a[i] = (i % 13) as f32 * 0.1;
+        }
+        assert!(mostly_zero(&a));
+        let b = fill(k * n, 8);
+        let want = naive_nn(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        mm_nn(&a, &b, &mut got, m, k, n);
+        // Zero-skip changes which terms are added (skipping exact
+        // zeros), which cannot change the result bitwise: x + 0.0 == x
+        // for all finite x.
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mostly_zero_probe_caps_samples() {
+        // Dense-but-tiny and exactly-300: the probe must sample at most
+        // 256 elements (stride rounds up).
+        assert_eq!(300usize.div_ceil(256), 2);
+        let mut x = vec![1.0f32; 300];
+        assert!(!mostly_zero(&x));
+        // With an upward-rounded stride of 2, only even indices are
+        // probed: zeroing them flips the verdict even though odd
+        // indices stay dense.
+        for i in (0..300).step_by(2) {
+            x[i] = 0.0;
+        }
+        assert!(mostly_zero(&x));
+        assert!(!mostly_zero(&[]));
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        mm_nn(&[], &[], &mut c, 0, 0, 0);
+        mm_nt(&[], &[], &mut c, 0, 0, 0);
+        mm_tn(&[], &[], &mut c, 0, 0, 0);
+        let mut c2 = vec![5.0f32; 6];
+        mm_nn(&[], &[], &mut c2, 2, 0, 3);
+        assert_eq!(c2, vec![5.0; 6], "k=0 leaves C untouched");
+    }
+}

@@ -1,0 +1,227 @@
+//! In-place tensor mutation (no autograd tracking).
+//!
+//! These operators overwrite their receiver's storage directly, so the
+//! hot training loop — optimizer steps, running statistics, gradient
+//! post-processing — performs zero tensor allocations. None of them
+//! record backward nodes; calling one on a tensor that carries a
+//! `grad_fn` is a logic error (it would silently corrupt saved
+//! activations) and panics.
+//!
+//! All kernels run single-threaded: every call site operates on
+//! parameter-sized buffers (well under [`crate::ops::ELEMWISE_SEQ`]),
+//! where pool dispatch would cost more than the arithmetic.
+
+use crate::Tensor;
+
+/// Hyper-parameters for one fused Adam update (see
+/// [`Tensor::adam_step_`]). The bias corrections `bc1`/`bc2` are
+/// `1 - beta^t` for the current step `t`, precomputed by the caller so
+/// the kernel stays a pure element-wise pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamStep {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// `1 - beta1.powi(t)`.
+    pub bc1: f32,
+    /// `1 - beta2.powi(t)`.
+    pub bc2: f32,
+}
+
+impl Tensor {
+    fn assert_inplace_ok(&self, other_numel: usize, op: &str) {
+        assert!(
+            self.inner.grad_fn.is_none(),
+            "{op} would corrupt the autograd graph (receiver has a grad_fn)"
+        );
+        assert_eq!(
+            self.numel(),
+            other_numel,
+            "{op} operand length mismatch: {} vs {other_numel}",
+            self.numel()
+        );
+    }
+
+    /// `self += other`, element-wise, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if `self` has a backward node.
+    pub fn add_(&self, other: &Tensor) -> &Tensor {
+        self.assert_inplace_ok(other.numel(), "add_");
+        if std::sync::Arc::ptr_eq(&self.inner.storage, &other.inner.storage) {
+            let mut d = self.inner.storage.write();
+            for v in d.iter_mut() {
+                *v += *v;
+            }
+        } else {
+            let o = other.inner.storage.read();
+            let mut d = self.inner.storage.write();
+            for (a, b) in d.iter_mut().zip(o.iter()) {
+                *a += b;
+            }
+        }
+        self
+    }
+
+    /// `self *= s`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has a backward node.
+    pub fn mul_scalar_(&self, s: f32) -> &Tensor {
+        self.assert_inplace_ok(self.numel(), "mul_scalar_");
+        let mut d = self.inner.storage.write();
+        for v in d.iter_mut() {
+            *v *= s;
+        }
+        self
+    }
+
+    /// `self += s * other` (axpy), reading `other` from a raw slice so
+    /// gradient buffers can feed it without wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if `self` has a backward node.
+    pub fn add_scaled_(&self, other: &[f32], s: f32) -> &Tensor {
+        self.assert_inplace_ok(other.len(), "add_scaled_");
+        let mut d = self.inner.storage.write();
+        for (a, b) in d.iter_mut().zip(other) {
+            *a += s * b;
+        }
+        self
+    }
+
+    /// `self += s * a * b`, element-wise over raw slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if `self` has a backward node.
+    pub fn addcmul_(&self, a: &[f32], b: &[f32], s: f32) -> &Tensor {
+        self.assert_inplace_ok(a.len(), "addcmul_");
+        assert_eq!(a.len(), b.len(), "addcmul_ factor length mismatch");
+        let mut d = self.inner.storage.write();
+        for i in 0..d.len() {
+            d[i] += s * a[i] * b[i];
+        }
+        self
+    }
+
+    /// One fused Adam update: advances the first/second moment tensors
+    /// `m`/`v` from gradient `g` and applies the bias-corrected step to
+    /// `self`, all in a single pass with no temporaries.
+    ///
+    /// Per element: `m = β₁m + (1-β₁)g`, `v = β₂v + (1-β₂)g²`,
+    /// `self -= lr · (m/bc1) / (√(v/bc2) + ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if any receiver has a backward node.
+    pub fn adam_step_(&self, g: &[f32], m: &Tensor, v: &Tensor, s: AdamStep) -> &Tensor {
+        self.assert_inplace_ok(g.len(), "adam_step_");
+        m.assert_inplace_ok(g.len(), "adam_step_ (m)");
+        v.assert_inplace_ok(g.len(), "adam_step_ (v)");
+        let mut md = m.inner.storage.write();
+        let mut vd = v.inner.storage.write();
+        let mut pd = self.inner.storage.write();
+        for i in 0..g.len() {
+            let gi = g[i];
+            md[i] = s.beta1 * md[i] + (1.0 - s.beta1) * gi;
+            vd[i] = s.beta2 * vd[i] + (1.0 - s.beta2) * gi * gi;
+            let m_hat = md[i] / s.bc1;
+            let v_hat = vd[i] / s.bc2;
+            pd[i] -= s.lr * m_hat / (v_hat.sqrt() + s.eps);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::assert_close;
+
+    #[test]
+    fn add_in_place() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3]);
+        a.add_(&b);
+        assert_eq!(a.to_vec(), vec![1.5, 1.0, 5.0]);
+        assert_eq!(b.to_vec(), vec![0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_self_aliasing_doubles() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], [2]);
+        let view = a.clone();
+        a.add_(&view);
+        assert_eq!(a.to_vec(), vec![2.0, -4.0]);
+    }
+
+    #[test]
+    fn mul_scalar_in_place() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 4.0], [3]);
+        a.mul_scalar_(0.5);
+        assert_eq!(a.to_vec(), vec![0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_scaled_matches_axpy() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        a.add_scaled_(&[10.0, -10.0], 0.1);
+        assert_eq!(a.to_vec(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn addcmul_matches_reference() {
+        let a = Tensor::from_vec(vec![1.0, 1.0, 1.0], [3]);
+        a.addcmul_(&[2.0, 3.0, 4.0], &[0.5, 0.5, 0.5], 2.0);
+        assert_eq!(a.to_vec(), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn adam_step_matches_unfused_update() {
+        let (beta1, beta2, lr, eps) = (0.9f32, 0.999f32, 0.01f32, 1e-8f32);
+        let g = [0.3f32, -0.7, 1.2];
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let m = Tensor::from_vec(vec![0.1, 0.0, -0.2], [3]);
+        let v = Tensor::from_vec(vec![0.01, 0.02, 0.0], [3]);
+
+        // Reference: the classic three-pass formulation.
+        let t = 3;
+        let (bc1, bc2) = (1.0 - beta1.powi(t), 1.0 - beta2.powi(t));
+        let mut want_p = p.to_vec();
+        let mut want_m = m.to_vec();
+        let mut want_v = v.to_vec();
+        for i in 0..3 {
+            want_m[i] = beta1 * want_m[i] + (1.0 - beta1) * g[i];
+            want_v[i] = beta2 * want_v[i] + (1.0 - beta2) * g[i] * g[i];
+            want_p[i] -= lr * (want_m[i] / bc1) / ((want_v[i] / bc2).sqrt() + eps);
+        }
+
+        p.adam_step_(&g, &m, &v, AdamStep { lr, beta1, beta2, eps, bc1, bc2 });
+        assert_close(&p.to_vec(), &want_p, 0.0);
+        assert_close(&m.to_vec(), &want_m, 0.0);
+        assert_close(&v.to_vec(), &want_v, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt the autograd graph")]
+    fn inplace_on_graph_tensor_panics() {
+        let x = Tensor::ones([2]).requires_grad(true);
+        let y = x.mul_scalar(2.0); // has a grad_fn
+        y.mul_scalar_(3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_mismatch_panics() {
+        Tensor::ones([2]).add_(&Tensor::ones([3]));
+    }
+}

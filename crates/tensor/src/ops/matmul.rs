@@ -1,149 +1,17 @@
 //! Matrix multiplication (2-D and batched).
 //!
-//! The three 2-D kernels partition *output* rows across the
-//! `tgl-runtime` pool: each row's accumulation order is a function of
-//! the operands alone, so results are bitwise identical for any thread
-//! count. `bmm` partitions batches instead (nested kernel calls run
-//! inline on pool workers).
+//! The 2-D kernels live in [`crate::ops::gemm`]: cache-blocked,
+//! output-row-partitioned, and bitwise invariant across thread counts.
+//! `bmm` partitions batches instead (nested kernel calls run inline on
+//! pool workers). Output and gradient buffers are drawn from the
+//! tensor pool (`take_zeroed`: the kernels accumulate with `+=`).
 
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
+use crate::ops::gemm::{mm_nn, mm_nt, mm_tn, seq_rows};
 use crate::ops::same_device;
+use crate::pool;
 use crate::Tensor;
-
-/// Multiply-add count below which a matmul runs inline on the caller;
-/// pool dispatch costs more than the arithmetic.
-const MM_SEQ_FLOPS: usize = 32 * 1024;
-
-/// Output rows (of `row_flops` multiply-adds each) per sequential-path
-/// threshold — feeds `parallel_for`'s element threshold.
-fn seq_rows(row_flops: usize) -> usize {
-    (MM_SEQ_FLOPS / row_flops.max(1)).max(1)
-}
-
-/// Cheap sparsity probe: samples up to 256 evenly spaced elements and
-/// reports whether more than half are exactly zero. The zero-skip
-/// branch in the `nn`/`tn` kernels only pays off on such operands; on
-/// dense data it costs a branch per inner-loop trip.
-fn mostly_zero(x: &[f32]) -> bool {
-    if x.is_empty() {
-        return false;
-    }
-    let step = (x.len() / 256).max(1);
-    let mut zeros = 0usize;
-    let mut total = 0usize;
-    let mut i = 0;
-    while i < x.len() {
-        total += 1;
-        if x[i] == 0.0 {
-            zeros += 1;
-        }
-        i += step;
-    }
-    zeros * 2 > total
-}
-
-/// C[m,n] += A[m,k] * B[k,n]
-pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    // i-k-j loop order keeps the inner loop streaming over contiguous
-    // rows of B and C.
-    let sparse = mostly_zero(a);
-    let c = UnsafeSlice::new(c);
-    parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
-        // SAFETY: chunks partition the row space, so these row ranges
-        // are disjoint.
-        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
-        for (ri, i) in rows.enumerate() {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
-            if sparse {
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
-                }
-            } else {
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
-                }
-            }
-        }
-    });
-}
-
-/// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
-pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
-    let c = UnsafeSlice::new(c);
-    parallel_for(m, seq_rows(n * k), |rows: std::ops::Range<usize>| {
-        // SAFETY: disjoint row ranges per chunk.
-        let c_rows = unsafe { c.slice_mut(rows.start * k, rows.len() * k) };
-        for (ri, i) in rows.enumerate() {
-            let a_row = &a[i * n..(i + 1) * n];
-            for j in 0..k {
-                let b_row = &b[j * n..(j + 1) * n];
-                // 4-way partial sums so the reduction can vectorize.
-                let mut acc = [0.0f32; 4];
-                let chunks = n / 4;
-                for q in 0..chunks {
-                    let p = q * 4;
-                    acc[0] += a_row[p] * b_row[p];
-                    acc[1] += a_row[p + 1] * b_row[p + 1];
-                    acc[2] += a_row[p + 2] * b_row[p + 2];
-                    acc[3] += a_row[p + 3] * b_row[p + 3];
-                }
-                let mut tail = 0.0f32;
-                for p in chunks * 4..n {
-                    tail += a_row[p] * b_row[p];
-                }
-                c_rows[ri * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
-            }
-        }
-    });
-}
-
-/// C[k,n] += A[m,k]^T * B[m,n]  (i.e. Aᵀ · B)
-///
-/// Parallelized over output rows (columns of A): each `kk` accumulates
-/// over `i` in ascending order, matching the sequential kernel's
-/// floating-point order exactly.
-pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let sparse = mostly_zero(a);
-    let c = UnsafeSlice::new(c);
-    parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
-        // SAFETY: disjoint row ranges per chunk.
-        let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
-        for (ri, kk) in rows.enumerate() {
-            let c_row = &mut c_rows[ri * n..(ri + 1) * n];
-            if sparse {
-                for i in 0..m {
-                    let aik = a[i * k + kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[i * n..(i + 1) * n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
-                }
-            } else {
-                for i in 0..m {
-                    let aik = a[i * k + kk];
-                    let b_row = &b[i * n..(i + 1) * n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
-                }
-            }
-        }
-    });
-}
 
 impl Tensor {
     /// 2-D matrix product `self[m,k] @ other[k,n] -> [m,n]`.
@@ -160,7 +28,7 @@ impl Tensor {
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", self.shape(), other.shape());
 
-        let mut c = vec![0.0f32; m * n];
+        let mut c = pool::take_zeroed(m * n, device);
         {
             let a = self.inner.storage.read();
             let b = other.inner.storage.read();
@@ -172,9 +40,9 @@ impl Tensor {
             let a = a_t.inner.storage.read();
             let b = b_t.inner.storage.read();
             // dA = dC · Bᵀ ; dB = Aᵀ · dC
-            let mut ga = vec![0.0f32; m * k];
+            let mut ga = pool::take_zeroed(m * k, a_t.device());
             mm_nt(go, &b, &mut ga, m, n, k);
-            let mut gb = vec![0.0f32; k * n];
+            let mut gb = pool::take_zeroed(k * n, b_t.device());
             mm_tn(&a, go, &mut gb, m, k, n);
             vec![Some(ga), Some(gb)]
         })
@@ -195,7 +63,7 @@ impl Tensor {
         assert_eq!(bs, bs2, "bmm batch dims differ");
         assert_eq!(k, k2, "bmm inner dims differ");
 
-        let mut c = vec![0.0f32; bs * m * n];
+        let mut c = pool::take_zeroed(bs * m * n, device);
         {
             let a = self.inner.storage.read();
             let b = other.inner.storage.read();
@@ -225,8 +93,8 @@ impl Tensor {
             move |go| {
                 let a = a_t.inner.storage.read();
                 let b = b_t.inner.storage.read();
-                let mut ga = vec![0.0f32; bs * m * k];
-                let mut gb = vec![0.0f32; bs * k * n];
+                let mut ga = pool::take_zeroed(bs * m * k, a_t.device());
+                let mut gb = pool::take_zeroed(bs * k * n, b_t.device());
                 {
                     let ga_sl = UnsafeSlice::new(&mut ga);
                     let gb_sl = UnsafeSlice::new(&mut gb);
@@ -308,6 +176,24 @@ mod tests {
     fn matmul_gradcheck_rhs() {
         let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], [2, 3]);
         let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.5], [3, 2]).requires_grad(true);
+        check_gradient(&b, |t| a.matmul(t).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn matmul_gradcheck_straddles_kc_panel() {
+        // k = 257 is one element past the blocked kernel's KC=256 panel,
+        // so the packed forward and the nt/tn backward kernels all walk
+        // a partial trailing panel. The analytic gradients must still
+        // match central differences there.
+        let k = 257;
+        let fill = |len: usize, salt: usize| -> Vec<f32> {
+            (0..len).map(|i| ((i * 37 + salt) % 101) as f32 / 101.0 - 0.5).collect()
+        };
+        let a = Tensor::from_vec(fill(2 * k, 3), [2, k]).requires_grad(true);
+        let b = Tensor::from_vec(fill(k * 2, 11), [k, 2]);
+        check_gradient(&a, |t| t.matmul(&b).sum_all(), 1e-2);
+        let a = Tensor::from_vec(fill(2 * k, 3), [2, k]);
+        let b = Tensor::from_vec(fill(k * 2, 11), [k, 2]).requires_grad(true);
         check_gradient(&b, |t| a.matmul(t).sum_all(), 1e-2);
     }
 

@@ -6,7 +6,10 @@
 //! accelerator shares the host's compute; see `tgl-device`).
 
 mod binary;
+mod fused;
+pub(crate) mod gemm;
 mod index;
+mod inplace;
 mod matmul;
 mod reduce;
 pub mod segment;
@@ -15,6 +18,7 @@ mod softmax;
 mod unary;
 
 pub use index::{cat, stack};
+pub use inplace::AdamStep;
 pub use segment::{segment_max, segment_mean, segment_softmax, segment_sum};
 
 use crate::Tensor;

@@ -3,6 +3,7 @@
 use tgl_runtime::{parallel_for, parallel_for_chunks, UnsafeSlice};
 
 use crate::ops::rows_threshold;
+use crate::pool;
 use crate::shape::Shape;
 use crate::Tensor;
 
@@ -34,15 +35,16 @@ impl Tensor {
     pub fn sum_all(&self) -> Tensor {
         let total: f32 = sum_slice(&self.inner.storage.read());
         let n = self.numel();
-        let shape = self.shape().clone();
+        let device = self.device();
         Tensor::make_result(
             vec![total],
             Shape::scalar(),
             self.device(),
             std::slice::from_ref(self),
             move |go| {
-                let _ = &shape;
-                vec![Some(vec![go[0]; n])]
+                let mut g = pool::take_uninit(n, device);
+                g.fill(go[0]);
+                vec![Some(g)]
             },
         )
     }
@@ -105,15 +107,14 @@ impl Tensor {
         let outer: usize = dims[..dim].iter().product();
         let mid = dims[dim];
         let inner: usize = dims[dim + 1..].iter().product();
+        let device = self.device();
         let data = self.inner.storage.read();
         let out_shape = self.shape().without_dim(dim);
-        let mut out = vec![
-            match kind {
-                ReduceKind::Sum => 0.0,
-                ReduceKind::Max => f32::NEG_INFINITY,
-            };
-            outer * inner
-        ];
+        let mut out = pool::take_uninit(outer * inner, device);
+        out.fill(match kind {
+            ReduceKind::Sum => 0.0,
+            ReduceKind::Max => f32::NEG_INFINITY,
+        });
         let mut argmax = match kind {
             ReduceKind::Max => vec![0usize; outer * inner],
             ReduceKind::Sum => Vec::new(),
@@ -154,7 +155,12 @@ impl Tensor {
             self.device(),
             std::slice::from_ref(self),
             move |go| {
-                let mut g = vec![0.0f32; n];
+                // Sum writes every input slot; Max only touches argmax
+                // positions and needs a zeroed start.
+                let mut g = match kind {
+                    ReduceKind::Sum => pool::take_uninit(n, device),
+                    ReduceKind::Max => pool::take_zeroed(n, device),
+                };
                 {
                     let g_sl = UnsafeSlice::new(&mut g);
                     let (go, argmax) = (&go, &argmax);

@@ -8,6 +8,7 @@
 
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
+use crate::pool::{self, PooledBuf};
 use crate::Tensor;
 
 /// Rows grouped by segment: `rows[starts[s]..starts[s + 1]]` lists the
@@ -93,8 +94,11 @@ fn check_segments(values: &Tensor, segments: &[usize], num_segments: usize) -> (
 /// ```
 pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
-    let mut out = vec![0.0f32; num_segments * d];
+    // Accumulates with `+=` (and empty segments stay zero), so the
+    // recycled buffer must start zeroed.
+    let mut out = pool::take_zeroed(num_segments * d, device);
     {
         let x = values.inner.storage.read();
         let out_sl = UnsafeSlice::new(&mut out);
@@ -120,7 +124,7 @@ pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> 
     let seg = segments.to_vec();
     Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
         // Gather: every input row copies its segment's gradient row.
-        let mut g = vec![0.0f32; n * d];
+        let mut g = pool::take_uninit(n * d, device);
         let g_sl = UnsafeSlice::new(&mut g);
         parallel_for(n, seg_seq_threshold(n * d, n), |rows: std::ops::Range<usize>| {
             // SAFETY: disjoint row ranges per chunk.
@@ -141,8 +145,9 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
     for &s in segments {
         counts[s] += 1.0;
     }
+    let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
-    let mut out = vec![0.0f32; num_segments * d];
+    let mut out = pool::take_zeroed(num_segments * d, device);
     {
         let x = values.inner.storage.read();
         let out_sl = UnsafeSlice::new(&mut out);
@@ -168,7 +173,7 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
     out_dims[0] = num_segments;
     let seg = segments.to_vec();
     Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
-        let mut g = vec![0.0f32; n * d];
+        let mut g = pool::take_uninit(n * d, device);
         let g_sl = UnsafeSlice::new(&mut g);
         let (seg, counts) = (&seg, &counts);
         parallel_for(n, seg_seq_threshold(n * d, n), |rows: std::ops::Range<usize>| {
@@ -189,7 +194,9 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
 /// to the (first) argmax row per segment/column.
 pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
-    let mut out = vec![f32::NEG_INFINITY; num_segments * d];
+    let device = values.device();
+    let mut out = pool::take_uninit(num_segments * d, device);
+    out.fill(f32::NEG_INFINITY);
     let mut argmax = vec![usize::MAX; num_segments * d];
     {
         let x = values.inner.storage.read();
@@ -210,7 +217,8 @@ pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> 
     let mut out_dims = values.dims().to_vec();
     out_dims[0] = num_segments;
     Tensor::make_result(out, out_dims, values.device(), std::slice::from_ref(values), move |go| {
-        let mut g = vec![0.0f32; n * d];
+        // Only argmax positions receive gradient; the rest must be zero.
+        let mut g = pool::take_zeroed(n * d, device);
         for (sd, &i) in argmax.iter().enumerate() {
             if i != usize::MAX {
                 let j = sd % d;
@@ -229,8 +237,10 @@ pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> 
 /// nothing; rows keep their position.
 pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
-    let mut y = vec![0.0f32; n * d];
+    // Segments partition the rows, so every element is written below.
+    let mut y = pool::take_uninit(n * d, device);
     {
         let x = values.inner.storage.read();
         let y_sl = UnsafeSlice::new(&mut y);
@@ -264,7 +274,11 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
             },
         );
     }
-    let y_copy = y.clone();
+    let y_copy = {
+        let mut c = pool::take_uninit(y.len(), device);
+        c.copy_from_slice(&y);
+        PooledBuf::new(c, device)
+    };
     Tensor::make_result(
         y,
         values.shape().clone(),
@@ -272,7 +286,7 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
         std::slice::from_ref(values),
         move |go| {
             // Per segment/column: dx_i = (go_i - Σ_k go_k y_k) * y_i
-            let mut g = vec![0.0f32; n * d];
+            let mut g = pool::take_uninit(n * d, device);
             let g_sl = UnsafeSlice::new(&mut g);
             let (idx, y_copy) = (&idx, &y_copy);
             parallel_for(

@@ -3,6 +3,7 @@
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
 use crate::ops::rows_threshold;
+use crate::pool::{self, PooledBuf};
 use crate::Tensor;
 
 impl Tensor {
@@ -20,8 +21,10 @@ impl Tensor {
         assert!(self.rank() >= 1, "softmax needs rank >= 1");
         let cols = self.dim(self.rank() - 1);
         let rows = self.numel() / cols;
+        let device = self.device();
         let x = self.inner.storage.read();
-        let mut y = vec![0.0f32; x.len()];
+        // Fully overwritten row by row — recycled memory needs no zeroing.
+        let mut y = pool::take_uninit(x.len(), device);
         {
             let y_sl = UnsafeSlice::new(&mut y);
             let x = &x;
@@ -45,7 +48,13 @@ impl Tensor {
             });
         }
         drop(x);
-        let y_copy = y.clone();
+        // Backward needs the normalized output; keep a pooled copy that
+        // recycles when the graph drops.
+        let y_copy = {
+            let mut c = pool::take_uninit(y.len(), device);
+            c.copy_from_slice(&y);
+            PooledBuf::new(c, device)
+        };
         Tensor::make_result(
             y,
             self.shape().clone(),
@@ -53,7 +62,7 @@ impl Tensor {
             std::slice::from_ref(self),
             move |go| {
                 // dx = (go - sum(go*y)) * y, per row
-                let mut g = vec![0.0f32; y_copy.len()];
+                let mut g = pool::take_uninit(y_copy.len(), device);
                 {
                     let g_sl = UnsafeSlice::new(&mut g);
                     let (go, y_copy) = (&go, &y_copy);

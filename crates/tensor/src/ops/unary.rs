@@ -3,23 +3,32 @@
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
 use crate::ops::ELEMWISE_SEQ;
+use crate::pool::{self, PooledBuf};
 use crate::Tensor;
 
 /// Applies `fwd` elementwise; `bwd(x, y, go)` gives the input gradient
 /// for one element given input `x`, output `y`, and output grad `go`.
 /// Both passes chunk the element space across the pool; every element
 /// is computed independently, so output is thread-count invariant.
+///
+/// Buffers come from the tensor pool: the output and gradient are
+/// fully overwritten (so recycled memory needs no zeroing), backward
+/// reads the input through the captured tensor handle instead of a
+/// copy, and the saved output copy is a [`PooledBuf`] recycled when the
+/// graph drops.
 fn unary_elementwise(
     input: &Tensor,
     fwd: impl Fn(f32) -> f32 + Sync,
     bwd: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
-    let x = input.to_vec();
-    let mut y = vec![0.0f32; x.len()];
+    let device = input.device();
+    let n = input.numel();
+    let mut y = pool::take_uninit(n, device);
     {
+        let x = input.inner.storage.read();
         let y_sl = UnsafeSlice::new(&mut y);
         let (x, fwd) = (&x, &fwd);
-        parallel_for(x.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+        parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
             // SAFETY: chunks partition the element space.
             let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
             for (o, &v) in out.iter_mut().zip(&x[r]) {
@@ -27,18 +36,24 @@ fn unary_elementwise(
             }
         });
     }
-    let y_copy = y.clone();
+    let y_copy = {
+        let mut c = pool::take_uninit(n, device);
+        c.copy_from_slice(&y);
+        PooledBuf::new(c, device)
+    };
+    let x_t = input.clone();
     Tensor::make_result(
         y,
         input.shape().clone(),
         input.device(),
         std::slice::from_ref(input),
         move |go| {
-            let mut g = vec![0.0f32; x.len()];
+            let x = x_t.inner.storage.read();
+            let mut g = pool::take_uninit(go.len(), device);
             {
                 let g_sl = UnsafeSlice::new(&mut g);
                 let (x, y_copy, bwd) = (&x, &y_copy, &bwd);
-                parallel_for(x.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
+                parallel_for(go.len(), ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
                     // SAFETY: chunks partition the element space.
                     let out = unsafe { g_sl.slice_mut(r.start, r.len()) };
                     for (k, i) in r.enumerate() {

@@ -1,7 +1,14 @@
 //! Gradient-descent optimizers.
+//!
+//! Steady-state steps perform **zero tensor allocations**: optimizer
+//! state lives in plain tensors allocated once per parameter, gradients
+//! are read in place through [`Tensor::with_grad`], and updates run as
+//! fused in-place kernels ([`Tensor::adam_step_`],
+//! [`Tensor::add_scaled_`]).
 
 use std::collections::HashMap;
 
+use crate::ops::AdamStep;
 use crate::Tensor;
 
 /// Stochastic gradient descent with optional momentum.
@@ -10,7 +17,7 @@ pub struct Sgd {
     params: Vec<Tensor>,
     lr: f32,
     momentum: f32,
-    velocity: HashMap<u64, Vec<f32>>,
+    velocity: HashMap<u64, Tensor>,
 }
 
 impl Sgd {
@@ -33,22 +40,30 @@ impl Sgd {
     /// Applies one update step using accumulated gradients.
     pub fn step(&mut self) {
         for p in &self.params {
-            let Some(g) = p.grad() else { continue };
             if self.momentum > 0.0 {
                 let v = self
                     .velocity
                     .entry(p.id())
-                    .or_insert_with(|| vec![0.0; g.len()]);
-                p.with_data_mut(|data| {
-                    for ((d, gi), vi) in data.iter_mut().zip(&g).zip(v.iter_mut()) {
-                        *vi = self.momentum * *vi + gi;
-                        *d -= self.lr * *vi;
-                    }
+                    .or_insert_with(|| Tensor::zeros_on(p.dims().to_vec(), p.device()));
+                let momentum = self.momentum;
+                let lr = self.lr;
+                p.with_grad(|g| {
+                    let Some(g) = g else { return };
+                    // v = momentum*v + g; p -= lr*v — fused per element.
+                    v.with_data_mut(|vd| {
+                        p.with_data_mut(|data| {
+                            for ((d, gi), vi) in data.iter_mut().zip(g).zip(vd.iter_mut()) {
+                                *vi = momentum * *vi + gi;
+                                *d -= lr * *vi;
+                            }
+                        });
+                    });
                 });
             } else {
-                p.with_data_mut(|data| {
-                    for (d, gi) in data.iter_mut().zip(&g) {
-                        *d -= self.lr * gi;
+                let lr = self.lr;
+                p.with_grad(|g| {
+                    if let Some(g) = g {
+                        p.add_scaled_(g, -lr);
                     }
                 });
             }
@@ -69,27 +84,33 @@ impl Sgd {
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for p in params {
-        if let Some(g) = p.grad() {
-            sq += g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
-        }
+        p.with_grad(|g| {
+            if let Some(g) = g {
+                sq += g.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        });
     }
     let norm = (sq.sqrt()) as f32;
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            if let Some(mut g) = p.grad() {
-                for v in g.iter_mut() {
-                    *v *= scale;
+            p.with_grad_mut(|g| {
+                if let Some(g) = g {
+                    for v in g.iter_mut() {
+                        *v *= scale;
+                    }
                 }
-                p.zero_grad();
-                p.accumulate_grad_public(&g);
-            }
+            });
         }
     }
     norm
 }
 
 /// Adam optimizer (Kingma & Ba), the paper models' default.
+///
+/// Moment state is a pair of tensors per parameter, allocated lazily on
+/// the first step a gradient appears; every subsequent step is one
+/// fused in-place pass over (param, grad, m, v).
 #[derive(Debug)]
 pub struct Adam {
     params: Vec<Tensor>,
@@ -98,7 +119,7 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    state: HashMap<u64, (Vec<f32>, Vec<f32>)>,
+    state: HashMap<u64, (Tensor, Tensor)>,
 }
 
 impl Adam {
@@ -118,21 +139,24 @@ impl Adam {
     /// Applies one update step using accumulated gradients.
     pub fn step(&mut self) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let step = AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
+        };
         for p in &self.params {
-            let Some(g) = p.grad() else { continue };
-            let (m, v) = self
-                .state
-                .entry(p.id())
-                .or_insert_with(|| (vec![0.0; g.len()], vec![0.0; g.len()]));
-            p.with_data_mut(|data| {
-                for i in 0..g.len() {
-                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
-                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
-                    let m_hat = m[i] / bc1;
-                    let v_hat = v[i] / bc2;
-                    data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            let (m, v) = self.state.entry(p.id()).or_insert_with(|| {
+                (
+                    Tensor::zeros_on(p.dims().to_vec(), p.device()),
+                    Tensor::zeros_on(p.dims().to_vec(), p.device()),
+                )
+            });
+            p.with_grad(|g| {
+                if let Some(g) = g {
+                    p.adam_step_(g, m, v, step);
                 }
             });
         }
@@ -198,6 +222,27 @@ mod tests {
         for v in x.to_vec() {
             assert!((v - 3.0).abs() < 1e-2, "got {v}");
         }
+    }
+
+    #[test]
+    fn adam_fused_matches_reference_formulation() {
+        // One step of the fused kernel against the textbook three-pass
+        // update, from a cold state.
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], [3]).requires_grad(true);
+        x.mul(&x).sum_all().backward(); // g = 2x
+        let g = x.grad().unwrap();
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        opt.step();
+
+        let (beta1, beta2, lr, eps) = (0.9f32, 0.999f32, 0.1f32, 1e-8f32);
+        let (bc1, bc2) = (1.0 - beta1, 1.0 - beta2);
+        let mut want = vec![1.0f32, -2.0, 0.5];
+        for i in 0..3 {
+            let m = (1.0 - beta1) * g[i];
+            let v = (1.0 - beta2) * g[i] * g[i];
+            want[i] -= lr * (m / bc1) / ((v / bc2).sqrt() + eps);
+        }
+        crate::testing::assert_close(&x.to_vec(), &want, 1e-6);
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Device-aware tensor buffer pool.
+//!
+//! Every tensor op used to materialize a fresh `Vec<f32>` through the
+//! allocator; on the training hot path that makes malloc/free and
+//! cold-cache writes the dominant cost (the op kernels themselves are
+//! small). This module recycles those buffers instead: [`Storage`]
+//! returns its buffer here on drop, and op kernels draw replacement
+//! buffers with [`take_uninit`] / [`take_zeroed`]. After a warm-up
+//! batch, an epoch performs O(parameters) real allocations rather than
+//! O(ops × batches).
+//!
+//! [`Storage`]: crate::storage::Storage
+//!
+//! # Bucket policy
+//!
+//! Free buffers are kept per device tier in power-of-two size classes:
+//! a buffer of length `len` lives in class `floor(log2(len))`, so class
+//! `c` holds lengths in `[2^c, 2^(c+1))`. A request for `len` scans its
+//! own class for the first buffer with `len` or more elements, then
+//! falls back to class `c + 1` (where every buffer is large enough).
+//! Oversized buffers are truncated to the requested length — `truncate`
+//! never exposes uninitialized memory, so recycling is sound without
+//! any `unsafe`. Repeated same-shape requests (the training-loop
+//! pattern) therefore hit exactly-fitting buffers. Each class holds a
+//! bounded number of buffers; surplus buffers are simply freed.
+//!
+//! # Zero-fill rules
+//!
+//! [`take_zeroed`] always returns an all-zero buffer (recycled buffers
+//! are `fill(0.0)`-ed). [`take_uninit`] returns a buffer with stale but
+//! *valid* `f32` contents; callers must overwrite every element before
+//! any read. This is why recycling cannot change results: an op either
+//! asked for zeros and got zeros, or promised to write every element it
+//! reads. The determinism suite asserts bitwise-identical training
+//! with the pool on and off.
+//!
+//! # Device accounting
+//!
+//! Buffers held by the pool are *not* registered with the `tgl-device`
+//! tracker: `Storage` releases its accounting before donating the
+//! buffer, and re-registers on reuse, so `tgl_device::stats()` still
+//! reports exactly the bytes held by live tensors.
+//!
+//! # Escape hatch and metering
+//!
+//! `TGL_POOL=off` (or `0` / `false`) disables recycling: every take is
+//! a fresh allocation and every give is a free. The request/miss
+//! counters are metered in both modes, which is how the `alloc_churn`
+//! bench measures the pool's effect:
+//!
+//! | counter                     | meaning                              |
+//! |-----------------------------|--------------------------------------|
+//! | `tensor.pool.request`       | buffer requests                      |
+//! | `tensor.pool.request_bytes` | bytes requested                      |
+//! | `tensor.pool.hit`           | requests served from the free lists  |
+//! | `tensor.pool.recycled_bytes`| bytes served from the free lists     |
+//! | `tensor.pool.miss`          | requests that hit the allocator      |
+//! | `tensor.pool.alloc_bytes`   | bytes from the allocator             |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use tgl_device::Device;
+use tgl_runtime::sync::Mutex;
+
+/// Free buffers per class per device. Small classes (a few KB) keep
+/// more buffers than large ones so pool-held memory stays bounded.
+const CLASS_CAP_SMALL: usize = 32;
+const CLASS_CAP_LARGE: usize = 4;
+/// Classes at or above this (2^20 elements = 4 MiB) use the large cap.
+const LARGE_CLASS: usize = 20;
+
+/// One device tier's free lists, indexed by size class.
+#[derive(Default)]
+struct Shelf {
+    classes: Vec<Vec<Vec<f32>>>,
+}
+
+impl Shelf {
+    /// First-fit take: scan the request's own class for a buffer with
+    /// at least `len` elements, then class `len_class + 1` where any
+    /// buffer fits. The scan runs newest-first (`give` pushes at the
+    /// back) so the steady-state pattern reuses the most recently freed
+    /// — cache-hot — buffer, like an allocator's thread cache.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let class = size_class(len);
+        for c in [class, class + 1] {
+            if let Some(bufs) = self.classes.get_mut(c) {
+                if let Some(pos) = bufs.iter().rposition(|b| b.len() >= len) {
+                    return Some(bufs.swap_remove(pos));
+                }
+            }
+        }
+        None
+    }
+
+    fn give(&mut self, buf: Vec<f32>) {
+        let class = size_class(buf.len());
+        if self.classes.len() <= class {
+            self.classes.resize_with(class + 1, Vec::new);
+        }
+        let cap = if class >= LARGE_CLASS { CLASS_CAP_LARGE } else { CLASS_CAP_SMALL };
+        let bufs = &mut self.classes[class];
+        if bufs.len() < cap {
+            bufs.push(buf);
+        }
+        // else: drop — the class is full and the allocator reclaims it.
+    }
+}
+
+fn size_class(len: usize) -> usize {
+    (usize::BITS - 1).saturating_sub(len.leading_zeros()) as usize
+}
+
+fn shelf(device: Device) -> &'static Mutex<Shelf> {
+    static SHELVES: OnceLock<[Mutex<Shelf>; 2]> = OnceLock::new();
+    let shelves = SHELVES.get_or_init(|| [Mutex::new(Shelf::default()), Mutex::new(Shelf::default())]);
+    match device {
+        Device::Host => &shelves[0],
+        Device::Accel => &shelves[1],
+    }
+}
+
+/// Recycling gate: initialized from `TGL_POOL`, overridable at runtime
+/// (benches toggle it to measure both configurations in one process).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_READ: OnceLock<()> = OnceLock::new();
+
+fn ensure_env() {
+    ENV_READ.get_or_init(|| {
+        if let Ok(v) = std::env::var("TGL_POOL") {
+            let v = v.to_ascii_lowercase();
+            if v == "off" || v == "0" || v == "false" {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Whether buffer recycling is active.
+pub fn enabled() -> bool {
+    ensure_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recycling on or off (counters keep metering either way).
+/// Overrides the `TGL_POOL` environment setting.
+pub fn set_enabled(on: bool) {
+    ensure_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Returns a buffer of exactly `len` elements with **unspecified**
+/// (stale but valid) contents. The caller must write every element
+/// before reading it — this is what keeps recycling bit-exact.
+pub fn take_uninit(len: usize, device: Device) -> Vec<f32> {
+    take(len, device, false)
+}
+
+/// Returns an all-zero buffer of exactly `len` elements.
+pub fn take_zeroed(len: usize, device: Device) -> Vec<f32> {
+    take(len, device, true)
+}
+
+fn take(len: usize, device: Device, zeroed: bool) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let bytes = (len * std::mem::size_of::<f32>()) as u64;
+    tgl_obs::counter!("tensor.pool.request").incr();
+    tgl_obs::counter!("tensor.pool.request_bytes").add(bytes);
+    if enabled() {
+        if let Some(mut buf) = shelf(device).lock().take(len) {
+            tgl_obs::counter!("tensor.pool.hit").incr();
+            tgl_obs::counter!("tensor.pool.recycled_bytes").add(bytes);
+            buf.truncate(len);
+            if zeroed {
+                buf.fill(0.0);
+            }
+            return buf;
+        }
+    }
+    tgl_obs::counter!("tensor.pool.miss").incr();
+    tgl_obs::counter!("tensor.pool.alloc_bytes").add(bytes);
+    // Fresh path is zero-filled either way: the zeroed allocator is as
+    // cheap as an uninitialized one plus it satisfies `take_zeroed`.
+    vec![0.0; len]
+}
+
+/// Donates a buffer to `device`'s free lists (dropped if recycling is
+/// off, the buffer is empty, or its size class is full).
+pub fn give(buf: Vec<f32>, device: Device) {
+    if buf.is_empty() || !enabled() {
+        return;
+    }
+    shelf(device).lock().give(buf);
+}
+
+/// Frees every pooled buffer (used between measured bench configs and
+/// by tests that need a cold pool).
+pub fn clear() {
+    for device in [Device::Host, Device::Accel] {
+        shelf(device).lock().classes.clear();
+    }
+}
+
+/// Number of buffers and total bytes currently held for `device`.
+pub fn held(device: Device) -> (usize, u64) {
+    let shelf = shelf(device).lock();
+    let mut count = 0usize;
+    let mut bytes = 0u64;
+    for class in &shelf.classes {
+        count += class.len();
+        bytes += class
+            .iter()
+            .map(|b| (b.len() * std::mem::size_of::<f32>()) as u64)
+            .sum::<u64>();
+    }
+    (count, bytes)
+}
+
+/// A pooled scratch buffer that returns itself to the pool on drop.
+///
+/// Backward closures capture forward-pass copies (e.g. a softmax
+/// output) for the lifetime of the autograd graph; wrapping them in
+/// `PooledBuf` recycles those copies when the graph is torn down at the
+/// end of each batch.
+pub(crate) struct PooledBuf {
+    buf: Vec<f32>,
+    device: Device,
+}
+
+impl PooledBuf {
+    pub fn new(buf: Vec<f32>, device: Device) -> PooledBuf {
+        PooledBuf { buf, device }
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        give(std::mem::take(&mut self.buf), self.device);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes pool tests: they mutate the one global pool. Other
+    /// tensor-crate tests run concurrently and give/take *host* buffers
+    /// through ordinary op calls, so every assertion below uses the
+    /// accel shelf with odd sizes no op test allocates.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn size_class_boundaries() {
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(2), 1);
+        assert_eq!(size_class(3), 1);
+        assert_eq!(size_class(4), 2);
+        assert_eq!(size_class(1023), 9);
+        assert_eq!(size_class(1024), 10);
+    }
+
+    #[test]
+    fn same_size_request_hits() {
+        let _g = serial();
+        set_enabled(true);
+        give(vec![7.0; 5077], Device::Accel);
+        let buf = take_uninit(5077, Device::Accel);
+        assert_eq!(buf.len(), 5077);
+        assert_eq!(buf[0], 7.0, "must be the recycled (dirty) buffer");
+    }
+
+    #[test]
+    fn smaller_request_scans_next_class() {
+        let _g = serial();
+        set_enabled(true);
+        // 9001 is class 13; a request of 3333 (class 11) misses its own
+        // class... give an exact-class buffer too to hit the own-class
+        // path first.
+        give(vec![1.0; 3400], Device::Accel);
+        let own = take_zeroed(3333, Device::Accel);
+        assert_eq!(own.len(), 3333);
+        assert!(own.iter().all(|&v| v == 0.0), "take_zeroed must zero-fill");
+        // Next-class fallback: only a class-12 buffer available.
+        give(vec![2.0; 7000], Device::Accel);
+        let up = take_uninit(3600, Device::Accel);
+        assert_eq!(up.len(), 3600);
+        assert_eq!(up[0], 2.0, "served from the class above");
+    }
+
+    #[test]
+    fn devices_do_not_mix() {
+        let _g = serial();
+        set_enabled(true);
+        give(vec![7.5; 5077], Device::Accel);
+        // A host request must not drain the accel shelf.
+        let host = take_uninit(5077, Device::Host);
+        assert_ne!(host.first(), Some(&7.5));
+        let accel = take_uninit(5077, Device::Accel);
+        assert_eq!(accel[0], 7.5, "accel buffer stays on the accel shelf");
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let _g = serial();
+        clear();
+        set_enabled(false);
+        give(vec![9.0; 5077], Device::Accel);
+        assert_eq!(held(Device::Accel).0, 0, "give while disabled must drop");
+        let buf = take_uninit(5077, Device::Accel);
+        assert!(buf.iter().all(|&v| v == 0.0), "disabled takes are fresh");
+        set_enabled(true);
+    }
+
+    #[test]
+    fn class_cap_bounds_held_buffers() {
+        let _g = serial();
+        set_enabled(true);
+        let before = held(Device::Accel).0;
+        for _ in 0..CLASS_CAP_SMALL + 10 {
+            give(vec![0.0; 777], Device::Accel);
+        }
+        assert!(held(Device::Accel).0 <= before + CLASS_CAP_SMALL);
+    }
+
+    #[test]
+    fn zero_len_is_free() {
+        let _g = serial();
+        let before = held(Device::Accel);
+        give(Vec::new(), Device::Accel);
+        assert_eq!(held(Device::Accel), before);
+        assert!(take_uninit(0, Device::Accel).is_empty());
+    }
+
+    #[test]
+    fn pooled_buf_returns_on_drop() {
+        let _g = serial();
+        set_enabled(true);
+        {
+            let _b = PooledBuf::new(vec![6.25; 4444], Device::Accel);
+        }
+        let back = take_uninit(4444, Device::Accel);
+        assert_eq!(back[0], 6.25, "PooledBuf must donate its buffer on drop");
+    }
+}

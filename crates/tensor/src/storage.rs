@@ -28,8 +28,13 @@ impl Storage {
     /// `std::panic::catch_unwind` and downcast to [`DeviceOom`]).
     pub fn new(data: Vec<f32>, device: Device) -> Self {
         let bytes = (data.len() * std::mem::size_of::<f32>()) as u64;
-        if let Err(e) = tgl_device::alloc(device, bytes) {
-            std::panic::panic_any(DeviceOom(e));
+        // Zero-byte tensors (empty batches, rank-0 edge cases) hold no
+        // device memory; registering them would only add noise to
+        // `host_used_bytes` and the allocation counts.
+        if bytes > 0 {
+            if let Err(e) = tgl_device::alloc(device, bytes) {
+                std::panic::panic_any(DeviceOom(e));
+            }
         }
         Storage {
             data: RwLock::new(data),
@@ -53,7 +58,13 @@ impl Storage {
 
 impl Drop for Storage {
     fn drop(&mut self) {
-        tgl_device::free(self.device, self.bytes);
+        // Release the device accounting *before* donating the buffer:
+        // pool-held buffers are unaccounted, so `tgl_device::stats()`
+        // reports exactly the bytes held by live tensors.
+        if self.bytes > 0 {
+            tgl_device::free(self.device, self.bytes);
+        }
+        crate::pool::give(std::mem::take(self.data.get_mut()), self.device);
     }
 }
 

@@ -91,7 +91,7 @@ impl Tensor {
     /// Creates a zero-filled tensor on `device`.
     pub fn zeros_on(shape: impl Into<Shape>, device: Device) -> Tensor {
         let shape = shape.into();
-        Tensor::from_vec_on(vec![0.0; shape.numel()], shape, device)
+        Tensor::from_vec_on(crate::pool::take_zeroed(shape.numel(), device), shape, device)
     }
 
     /// Creates a one-filled host tensor.
@@ -102,7 +102,9 @@ impl Tensor {
     /// Creates a constant-filled host tensor.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
-        Tensor::from_vec(vec![value; shape.numel()], shape)
+        let mut data = crate::pool::take_uninit(shape.numel(), Device::Host);
+        data.fill(value);
+        Tensor::from_vec(data, shape)
     }
 
     /// Creates a host tensor with elements drawn uniformly from
@@ -332,14 +334,28 @@ impl Tensor {
         )
     }
 
-    /// The accumulated gradient of a leaf tensor, if any.
+    /// The accumulated gradient of a leaf tensor, if any (copied; the
+    /// zero-copy [`Tensor::with_grad`] is preferred on hot paths).
     pub fn grad(&self) -> Option<Vec<f32>> {
         self.inner.grad.lock().clone()
     }
 
-    /// Clears the accumulated gradient.
+    /// Runs `f` over the accumulated gradient without copying it.
+    pub fn with_grad<R>(&self, f: impl FnOnce(Option<&[f32]>) -> R) -> R {
+        f(self.inner.grad.lock().as_deref())
+    }
+
+    /// Runs `f` over a mutable view of the accumulated gradient without
+    /// copying (used by gradient clipping; no autograd tracking).
+    pub fn with_grad_mut<R>(&self, f: impl FnOnce(Option<&mut [f32]>) -> R) -> R {
+        f(self.inner.grad.lock().as_deref_mut())
+    }
+
+    /// Clears the accumulated gradient (the buffer is recycled).
     pub fn zero_grad(&self) {
-        *self.inner.grad.lock() = None;
+        if let Some(g) = self.inner.grad.lock().take() {
+            crate::pool::give(g, self.device());
+        }
     }
 
     /// Adds `g` into the accumulated gradient (used by gradient
@@ -352,6 +368,23 @@ impl Tensor {
         self.accumulate_grad(g);
     }
 
+    /// Like [`Tensor::accumulate_grad`] but takes ownership: the buffer
+    /// becomes the gradient directly (first accumulation) or is
+    /// recycled after being added in.
+    pub(crate) fn accumulate_grad_owned(&self, g: Vec<f32>) {
+        let mut lock = self.inner.grad.lock();
+        match lock.as_mut() {
+            Some(acc) => {
+                for (a, b) in acc.iter_mut().zip(&g) {
+                    *a += b;
+                }
+                drop(lock);
+                crate::pool::give(g, self.device());
+            }
+            None => *lock = Some(g),
+        }
+    }
+
     pub(crate) fn accumulate_grad(&self, g: &[f32]) {
         let mut lock = self.inner.grad.lock();
         match lock.as_mut() {
@@ -360,7 +393,11 @@ impl Tensor {
                     *a += b;
                 }
             }
-            None => *lock = Some(g.to_vec()),
+            None => {
+                let mut buf = crate::pool::take_uninit(g.len(), self.device());
+                buf.copy_from_slice(g);
+                *lock = Some(buf);
+            }
         }
     }
 
@@ -398,13 +435,15 @@ impl Tensor {
             let mut staged = pool.acquire(self.numel());
             staged.copy_from_slice(&self.inner.storage.read());
             tgl_device::transfer(bytes, kind);
-            let out = staged.clone();
+            let mut out = crate::pool::take_uninit(staged.len(), device);
+            out.copy_from_slice(&staged);
             pool.release(staged);
             out
         } else {
             // Pageable path: the driver performs an extra staging copy,
             // which we also physically perform.
-            let staged = self.inner.storage.read().clone();
+            let mut staged = crate::pool::take_uninit(self.numel(), device);
+            staged.copy_from_slice(&self.inner.storage.read());
             tgl_device::transfer(bytes, kind);
             staged
         };

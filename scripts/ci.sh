@@ -21,6 +21,14 @@ TGL_THREADS=2 cargo run --release --offline -q -p tgl-examples --bin quickstart 
     --prof --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/report.json"
 ./target/release/tgl jsoncheck "$OBS_DIR/trace.json"
 ./target/release/tgl jsoncheck "$OBS_DIR/report.json"
+# The training epoch must actually recycle tensor buffers: a zero (or
+# missing) pool hit count means the hot path regressed to fresh allocs.
+grep -Eq '"tensor\.pool\.hit": *[1-9]' "$OBS_DIR/report.json" \
+    || { echo "run report shows no tensor pool hits"; exit 1; }
+
+echo "==> allocation churn smoke (pool on vs off, bitwise loss guard)"
+cargo bench --offline -q -p tgl-bench --bench alloc_churn
+./target/release/tgl jsoncheck BENCH_alloc.json
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline -D warnings"

@@ -233,6 +233,118 @@ fn training_counters_invariant_across_thread_counts() {
 }
 
 #[test]
+fn blocked_gemm_invariant_at_tile_boundaries() {
+    let _g = serial();
+    // The blocked GEMM packs B into panels and tiles over
+    // MR=4 / NR=8 / MC=64 / KC=256; sizes one off either side of those
+    // boundaries exercise every partial-tile edge path. Forward and
+    // backward (which routes through the nt/tn kernels) must stay
+    // bitwise thread-invariant at all of them.
+    const SIZES: [(usize, usize, usize); 6] = [
+        (3, 255, 7),   // below every tile in all dims
+        (4, 256, 8),   // exact MR / KC / NR multiples
+        (5, 257, 9),   // one past MR / KC / NR
+        (63, 511, 7),  // just under MC, straddling 2 KC panels
+        (65, 513, 17), // just over MC, one element into a 3rd KC panel
+        (128, 256, 40),
+    ];
+    for (m, k, n) in SIZES {
+        assert_invariant(&format!("blocked gemm {m}x{k}x{n}"), || {
+            let mut rng = StdRng::seed_from_u64(0xB10C);
+            let a = rand_tensor(&mut rng, [m, k]).requires_grad(true);
+            let b = rand_tensor(&mut rng, [k, n]).requires_grad(true);
+            let c = a.matmul(&b);
+            c.sum_all().backward();
+            (c.to_vec(), a.grad().unwrap(), b.grad().unwrap())
+        });
+    }
+}
+
+/// Bitwise checksum of every parameter of a trained model.
+fn param_bits(params: &[Tensor]) -> Vec<u32> {
+    params
+        .iter()
+        .flat_map(|p| p.to_vec().into_iter().map(f32::to_bits))
+        .collect()
+}
+
+/// Trains a small MLP for a fixed number of Adam steps and returns the
+/// final parameter bits plus per-step losses.
+fn train_mlp_run() -> (Vec<u32>, Vec<u32>) {
+    use tgl_tensor::nn::{Mlp, Module};
+    use tgl_tensor::optim::Adam;
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mlp = Mlp::new(6, 16, 1, &mut rng);
+    let x = rand_tensor(&mut rng, [32, 6]);
+    let y = rand_tensor(&mut rng, [32, 1]);
+    let mut opt = Adam::new(mlp.parameters(), 1e-2);
+    let mut losses = Vec::new();
+    for _ in 0..25 {
+        let d = mlp.forward(&x).sub(&y);
+        let loss = d.mul(&d).sum_all();
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+        losses.push(loss.item().to_bits());
+    }
+    (param_bits(&mlp.parameters()), losses)
+}
+
+#[test]
+fn pool_recycling_is_bitwise_invisible() {
+    let _g = serial();
+    set_threads(1);
+    // Recycled buffers are dirty: `take_uninit` hands back whatever the
+    // donor left behind. The contract is that no kernel ever reads an
+    // element it did not write, so training with a well-used pool must
+    // be bitwise identical to training with recycling disabled
+    // (`TGL_POOL=off`), down to every parameter bit.
+    tgl_tensor::pool::set_enabled(true);
+    let _ = train_mlp_run(); // dirty the free lists with live values
+    let (params_on, losses_on) = train_mlp_run();
+    tgl_tensor::pool::set_enabled(false);
+    let (params_off, losses_off) = train_mlp_run();
+    tgl_tensor::pool::set_enabled(true);
+    assert_eq!(losses_on, losses_off, "per-step losses diverged");
+    assert_eq!(params_on, params_off, "final parameter bits diverged");
+}
+
+#[test]
+fn pool_recycling_is_bitwise_invisible_to_full_epoch() {
+    let _g = serial();
+    set_threads(1);
+    // Same contract at full-pipeline scale: one quickstart-sized
+    // TGLite+opt epoch (sampling, attention, memory, Adam) pool-on
+    // vs pool-off must report bitwise-identical losses and APs.
+    let mut cfg = tgl_harness::ExperimentConfig::paper_default(
+        tgl_harness::Framework::TgLiteOpt,
+        tgl_harness::ModelKind::Tgat,
+        tgl_data::DatasetKind::Wiki,
+        tgl_harness::Placement::AllOnDevice,
+    );
+    cfg.dataset = cfg.dataset.scaled_down(20);
+    cfg.model_cfg = tgl_models::ModelConfig::tiny();
+    cfg.train_cfg.epochs = 1;
+    cfg.train_cfg.batch_size = 60;
+    tgl_tensor::pool::set_enabled(true);
+    let _ = tgl_harness::run_experiment(&cfg); // dirty the free lists
+    let on = tgl_harness::run_experiment(&cfg);
+    tgl_tensor::pool::set_enabled(false);
+    let off = tgl_harness::run_experiment(&cfg);
+    tgl_tensor::pool::set_enabled(true);
+    let bits =
+        |r: &tgl_harness::ExperimentResult| -> Vec<u32> {
+            r.epochs.iter().map(|e| e.loss.to_bits()).collect()
+        };
+    assert_eq!(bits(&on), bits(&off), "epoch losses diverged");
+    assert_eq!(
+        on.test_ap.to_bits(),
+        off.test_ap.to_bits(),
+        "test AP diverged"
+    );
+}
+
+#[test]
 fn sum_all_matches_sequential_within_tolerance() {
     let _g = serial();
     // The chunked sum must stay within 1e-5 (relative) of a plain
