@@ -52,13 +52,17 @@ fn main() {
     let blk_sampler = TSampler::new(10, SamplingStrategy::Recent);
 
     // The measured workload walks the hottest instrumented paths:
-    // sampler counters, dedup counters, and a profiled scope per iter.
+    // sampler counters, dedup counters, a latency histogram timer, a
+    // gauge store, and a profiled scope per iter — every kind of site
+    // the telemetry layer plants in the training loop.
     let workload = || {
         let _s = prof::scope("obs-overhead-workload");
+        let _lat = tgl_obs::histogram!("bench.workload_ns").timer();
         let sample = sampler.sample(&csr, &nodes, &times);
         let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
         op::dedup(&blk);
         blk_sampler.sample(&blk);
+        tgl_obs::gauge!("bench.block_len").set(sample.len() as f64);
         sample.len()
     };
 
@@ -125,4 +129,60 @@ fn main() {
         );
     }
     println!("  OK: disabled observability within 2% budget");
+
+    // Raw per-site cost of the histogram/gauge record paths, so the
+    // bench-trend guard can watch them drift release over release. A
+    // disabled site is one relaxed load + branch; an enabled histogram
+    // record is a handful of relaxed RMWs.
+    const SITES: usize = 1_000_000;
+    let hist_path = || {
+        for i in 0..SITES {
+            tgl_obs::histogram!("bench.micro_ns").record(i as u64 & 0xFFFF);
+        }
+        SITES
+    };
+    let gauge_path = || {
+        for i in 0..SITES {
+            tgl_obs::gauge!("bench.micro_level").set(i as f64);
+        }
+        SITES
+    };
+    let per_site = |enabled: bool, f: &mut dyn FnMut() -> usize| {
+        obs::metrics::set_enabled(enabled);
+        let med = median((0..5).map(|_| time_it(&mut *f, 0.1)).collect());
+        obs::metrics::set_enabled(true);
+        med / SITES as f64 * 1e9
+    };
+    let hist_off_ns = per_site(false, &mut { hist_path });
+    let hist_on_ns = per_site(true, &mut { hist_path });
+    let gauge_off_ns = per_site(false, &mut { gauge_path });
+    let gauge_on_ns = per_site(true, &mut { gauge_path });
+    println!(
+        "  hist.record:  {hist_off_ns:>6.2} ns/site disabled, {hist_on_ns:>6.2} ns/site enabled"
+    );
+    println!(
+        "  gauge.set:    {gauge_off_ns:>6.2} ns/site disabled, {gauge_on_ns:>6.2} ns/site enabled"
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {},\n  \"workload\": {{\n    \"disabled\": {{\"wall_s\": {:.9}}},\n    \
+         \"enabled\": {{\"wall_s\": {:.9}}},\n    \"recheck\": {{\"wall_s\": {:.9}}},\n    \
+         \"overhead_pct\": {:.3}\n  }},\n  \"per_site_ns\": {{\n    \
+         \"hist_record_disabled\": {:.2},\n    \"hist_record_enabled\": {:.2},\n    \
+         \"gauge_set_disabled\": {:.2},\n    \"gauge_set_enabled\": {:.2}\n  }}\n}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        off_med,
+        on_med,
+        recheck,
+        (on_med / off_med - 1.0) * 100.0,
+        hist_off_ns,
+        hist_on_ns,
+        gauge_off_ns,
+        gauge_on_ns,
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

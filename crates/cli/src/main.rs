@@ -11,6 +11,8 @@
 //! ```
 
 mod args;
+mod promcheck;
+mod trend;
 
 use std::sync::Arc;
 
@@ -33,14 +35,29 @@ SUBCOMMANDS:
     eval       inference-only run over the test split
     generate   write a synthetic dataset's edge list as CSV
     stats      print a dataset's structural statistics
-    jsoncheck  parse a JSON file and exit nonzero if malformed
+    jsoncheck  parse a JSON file and exit nonzero if malformed;
+               with --trend --old <PATH> [--budget <PCT>] also compare
+               wall-time series against an older copy and fail on
+               regressions beyond the budget (default 25%)
+    promcheck  scrape a live /metrics endpoint (`tgl promcheck <ADDR>
+               [--min-hist <N>] [--quit]`) and validate the Prometheus
+               exposition
 
 OBSERVABILITY OPTIONS (train/eval):
     --prof               print the per-phase epoch breakdown (Fig. 7)
     --trace-out <PATH>   write a Chrome trace-event JSON of all spans
                          (open in chrome://tracing or ui.perfetto.dev)
     --metrics-out <PATH> write a structured JSON run report (per-epoch
-                         phases + subsystem counters)
+                         phases, counters, latency histograms, health)
+    --serve-metrics <ADDR>  serve /metrics, /healthz, /report.json and
+                         /quit over HTTP while the run executes (e.g.
+                         127.0.0.1:0; also via TGL_METRICS_ADDR)
+    --serve-hold         after the run, keep serving until GET /quit
+                         (or a 10-minute timeout)
+    --health <off|warn|fail>  non-finite loss/gradient policy: warn
+                         records a health event and skips the batch
+                         (default), fail aborts, off disables checks
+                         (also via TGL_HEALTH)
     --threads <N>        set the worker pool width (overrides TGL_THREADS)
 
 COMMON OPTIONS:
@@ -72,6 +89,7 @@ fn main() {
         "generate" => generate_cmd(&args),
         "stats" => stats_cmd(&args),
         "jsoncheck" => jsoncheck_cmd(&args),
+        "promcheck" => promcheck_cmd(&args),
         other => {
             eprintln!("unknown subcommand {other:?}\n");
             print!("{HELP}");
@@ -126,6 +144,31 @@ fn train(args: &Args, eval_only: bool) {
     let fw = framework(args);
     let mk = model_kind(args);
     let host_resident = args.has_flag("move");
+    if let Some(policy) = args.get("health") {
+        if tgl_harness::HealthPolicy::parse(policy).is_none() {
+            eprintln!("--health: unknown policy {policy:?} (try off/warn/fail)");
+            std::process::exit(2);
+        }
+        // Through the environment so the trainer and the run reporter
+        // agree on the active policy.
+        std::env::set_var("TGL_HEALTH", policy);
+    }
+    let serving = if let Some(addr) = args.get("serve-metrics") {
+        match tgl_obs::expo::start(addr) {
+            Ok(bound) => {
+                println!("metrics server listening on http://{bound}/metrics");
+                Some(bound)
+            }
+            Err(e) => {
+                eprintln!("--serve-metrics {addr}: bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        tgl_obs::expo::start_from_env().inspect(|bound| {
+            println!("metrics server listening on http://{bound}/metrics");
+        })
+    };
     if let Some(n) = args.get("threads") {
         let n: usize = n.parse().unwrap_or_else(|_| {
             eprintln!("--threads: cannot parse {n:?}");
@@ -194,7 +237,9 @@ fn train(args: &Args, eval_only: bool) {
         }
     }
 
-    let mut reporter = (show_prof || metrics_out.is_some()).then(|| {
+    // A live metrics server implies reporting: /report.json serves the
+    // reporter's in-progress publications.
+    let mut reporter = (show_prof || metrics_out.is_some() || serving.is_some()).then(|| {
         let mut rep = tgl_harness::RunReporter::start();
         rep.set_meta("model", mk.label());
         rep.set_meta("dataset", spec.kind.name());
@@ -265,6 +310,58 @@ fn train(args: &Args, eval_only: bool) {
         }
     }
     tgl_device::set_transfer_model(TransferModel::disabled());
+    if serving.is_some() && args.has_flag("serve-hold") {
+        println!("holding for scrape: GET /quit to release (10 min timeout)");
+        tgl_obs::expo::wait_for_quit(std::time::Duration::from_secs(600));
+    }
+}
+
+fn promcheck_cmd(args: &Args) {
+    let addr = args.get("addr").or_else(|| args.get("_extra")).unwrap_or_else(|| {
+        eprintln!("usage: tgl promcheck <ADDR> [--min-hist <N>] [--quit]");
+        std::process::exit(2);
+    });
+    let (code, body) = tgl_obs::expo::http_get(addr, "/metrics").unwrap_or_else(|e| {
+        eprintln!("{addr}/metrics: {e}");
+        std::process::exit(1);
+    });
+    if code != 200 {
+        eprintln!("{addr}/metrics: HTTP {code}");
+        std::process::exit(1);
+    }
+    let summary = promcheck::validate(&body).unwrap_or_else(|e| {
+        eprintln!("{addr}/metrics: malformed exposition: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{addr}/metrics: {} samples ({} counters, {} gauges, {} histograms)",
+        summary.samples, summary.counters, summary.gauges, summary.histograms
+    );
+    for name in &summary.histogram_names {
+        println!("  histogram {name}");
+    }
+
+    let (hcode, hbody) = tgl_obs::expo::http_get(addr, "/healthz").unwrap_or_else(|e| {
+        eprintln!("{addr}/healthz: {e}");
+        std::process::exit(1);
+    });
+    if !(hcode == 200 || hcode == 503) || tgl_data::Json::parse(&hbody).is_err() {
+        eprintln!("{addr}/healthz: HTTP {hcode} with malformed body {hbody:?}");
+        std::process::exit(1);
+    }
+    println!("{addr}/healthz: HTTP {hcode} {}", hbody.trim());
+
+    let min_hist = args.get_or("min-hist", 0usize);
+    if summary.histograms < min_hist {
+        eprintln!(
+            "{addr}/metrics: {} histogram families, expected at least {min_hist}",
+            summary.histograms
+        );
+        std::process::exit(1);
+    }
+    if args.has_flag("quit") {
+        tgl_obs::expo::http_get(addr, "/quit").ok();
+    }
 }
 
 fn jsoncheck_cmd(args: &Args) {
@@ -276,13 +373,16 @@ fn jsoncheck_cmd(args: &Args) {
         eprintln!("{path}: {e}");
         std::process::exit(1);
     });
-    match tgl_data::Json::parse(&text) {
+    let v = match tgl_data::Json::parse(&text) {
         Ok(v) => {
             // Round-trip: rendered output must parse back identically,
             // guarding the writer as well as the reader.
             let rendered = v.render();
             match tgl_data::Json::parse(&rendered) {
-                Ok(back) if back == v => println!("{path}: valid JSON ({} bytes)", text.len()),
+                Ok(back) if back == v => {
+                    println!("{path}: valid JSON ({} bytes)", text.len());
+                    v
+                }
                 _ => {
                     eprintln!("{path}: round-trip mismatch");
                     std::process::exit(1);
@@ -293,7 +393,36 @@ fn jsoncheck_cmd(args: &Args) {
             eprintln!("{path}: invalid JSON: {e}");
             std::process::exit(1);
         }
+    };
+
+    if !args.has_flag("trend") {
+        return;
     }
+    let old_path = args.get("old").unwrap_or_else(|| {
+        eprintln!("usage: tgl jsoncheck --file <NEW> --trend --old <OLD> [--budget <PCT>]");
+        std::process::exit(2);
+    });
+    let old_text = std::fs::read_to_string(old_path).unwrap_or_else(|e| {
+        eprintln!("{old_path}: {e}");
+        std::process::exit(1);
+    });
+    let old = tgl_data::Json::parse(&old_text).unwrap_or_else(|e| {
+        eprintln!("{old_path}: invalid JSON: {e}");
+        std::process::exit(1);
+    });
+    let rows = trend::compare(&old, &v);
+    if rows.is_empty() {
+        println!("trend: no wall-time series in common with {old_path}");
+        return;
+    }
+    print!("{}", trend::render_table(&rows));
+    let budget = args.get_or("budget", 25.0f64);
+    let worst = trend::worst_regression(&rows);
+    if worst > budget {
+        eprintln!("trend: worst regression {worst:+.1}% exceeds budget {budget:.0}%");
+        std::process::exit(1);
+    }
+    println!("trend: worst regression {worst:+.1}% within budget {budget:.0}%");
 }
 
 fn generate_cmd(args: &Args) {

@@ -1,0 +1,276 @@
+//! Validation of Prometheus text exposition documents (format 0.0.4),
+//! backing `tgl promcheck`. Std-only, like the server it checks.
+//!
+//! The checks are structural: every sample line must parse, carry a
+//! legal metric name and label syntax, and belong to a `# TYPE`-declared
+//! family; histogram families must expose consistent
+//! `_bucket`/`_sum`/`_count` series with cumulative bucket counts
+//! ending at the `+Inf` total.
+
+use std::collections::HashMap;
+
+/// What a well-formed exposition document contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpoSummary {
+    /// Counter families (`# TYPE ... counter`).
+    pub counters: usize,
+    /// Gauge families.
+    pub gauges: usize,
+    /// Histogram families.
+    pub histograms: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Names of the histogram families, in document order.
+    pub histogram_names: Vec<String>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok()
+}
+
+/// Splits a sample line into (name, labels-or-empty, value).
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}')?;
+        if close < open {
+            return None;
+        }
+        let value = line[close + 1..].trim();
+        Some((&line[..open], &line[open + 1..close], value))
+    } else {
+        let (name, value) = line.split_once(' ')?;
+        Some((name, "", value.trim()))
+    }
+}
+
+fn valid_labels(labels: &str) -> bool {
+    if labels.is_empty() {
+        return true;
+    }
+    labels.split(',').all(|pair| {
+        let Some((k, v)) = pair.split_once('=') else {
+            return false;
+        };
+        valid_metric_name(k.trim()) && {
+            let v = v.trim();
+            v.len() >= 2 && v.starts_with('"') && v.ends_with('"')
+        }
+    })
+}
+
+/// Validates an exposition document, returning a summary of its
+/// contents.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or inconsistent
+/// family found.
+pub fn validate(doc: &str) -> Result<ExpoSummary, String> {
+    let mut summary = ExpoSummary::default();
+    // family name -> declared type
+    let mut families: HashMap<String, String> = HashMap::new();
+    // histogram name -> (bucket cumulative counts, sum seen, count value)
+    let mut hist_state: HashMap<String, (Vec<u64>, bool, Option<u64>)> = HashMap::new();
+
+    for (idx, line) in doc.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(ty), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE comment: {line:?}"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: illegal family name {name:?}"));
+            }
+            if !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown metric type {ty:?}"));
+            }
+            if families.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name:?}"));
+            }
+            match ty {
+                "counter" => summary.counters += 1,
+                "gauge" => summary.gauges += 1,
+                "histogram" => {
+                    summary.histograms += 1;
+                    summary.histogram_names.push(name.to_string());
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+
+        let Some((name, labels, value)) = split_sample(line) else {
+            return Err(format!("line {lineno}: malformed sample: {line:?}"));
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: illegal metric name {name:?}"));
+        }
+        if !valid_labels(labels) {
+            return Err(format!("line {lineno}: malformed labels in {line:?}"));
+        }
+        if !valid_value(value) {
+            return Err(format!("line {lineno}: malformed value {value:?}"));
+        }
+        summary.samples += 1;
+
+        // Resolve the family: exact match, or a histogram series suffix.
+        let family = if families.contains_key(name) {
+            name.to_string()
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf))
+                .unwrap_or(name);
+            if families.get(base).map(String::as_str) == Some("histogram") {
+                base.to_string()
+            } else {
+                return Err(format!(
+                    "line {lineno}: sample {name:?} has no TYPE declaration"
+                ));
+            }
+        };
+
+        if families[&family] == "histogram" {
+            let state = hist_state.entry(family.clone()).or_default();
+            if let Some(series) = name.strip_prefix(family.as_str()) {
+                match series {
+                    "_bucket" => {
+                        let n: u64 = value.parse().map_err(|_| {
+                            format!("line {lineno}: non-integer bucket count {value:?}")
+                        })?;
+                        state.0.push(n);
+                    }
+                    "_sum" => state.1 = true,
+                    "_count" => {
+                        state.2 = Some(value.parse().map_err(|_| {
+                            format!("line {lineno}: non-integer count {value:?}")
+                        })?)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for (name, (buckets, has_sum, count)) in &hist_state {
+        if buckets.is_empty() || !has_sum || count.is_none() {
+            return Err(format!(
+                "histogram {name:?}: missing _bucket/_sum/_count series"
+            ));
+        }
+        if buckets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("histogram {name:?}: bucket counts not cumulative"));
+        }
+        if buckets.last() != count.as_ref() {
+            return Err(format!(
+                "histogram {name:?}: +Inf bucket {} != count {}",
+                buckets.last().unwrap(),
+                count.unwrap()
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# TYPE tgl_cache_hits_total counter
+tgl_cache_hits_total 42
+# TYPE tgl_health_loss gauge
+tgl_health_loss 0.61
+# TYPE tgl_step_latency_ns histogram
+tgl_step_latency_ns_bucket{le=\"1024\"} 3
+tgl_step_latency_ns_bucket{le=\"+Inf\"} 5
+tgl_step_latency_ns_sum 12345
+tgl_step_latency_ns_count 5
+";
+
+    #[test]
+    fn accepts_well_formed_document() {
+        let s = validate(GOOD).expect("valid");
+        assert_eq!(s.counters, 1);
+        assert_eq!(s.gauges, 1);
+        assert_eq!(s.histograms, 1);
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.histogram_names, vec!["tgl_step_latency_ns"]);
+    }
+
+    #[test]
+    fn rejects_undeclared_samples() {
+        let err = validate("tgl_orphan 1\n").unwrap_err();
+        assert!(err.contains("no TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_values_and_names() {
+        assert!(validate("# TYPE x gauge\nx banana\n").is_err());
+        assert!(validate("# TYPE 9x gauge\n").is_err());
+        assert!(validate("# TYPE x pie\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histograms() {
+        let doc = "\
+# TYPE h histogram
+h_bucket{le=\"2\"} 5
+h_bucket{le=\"+Inf\"} 3
+h_sum 1
+h_count 3
+";
+        let err = validate(doc).unwrap_err();
+        assert!(err.contains("cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let doc = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 3
+h_sum 1
+h_count 4
+";
+        let err = validate(doc).unwrap_err();
+        assert!(err.contains("!= count"), "{err}");
+    }
+
+    #[test]
+    fn accepts_inf_values_and_labels() {
+        let doc = "# TYPE g gauge\ng{kind=\"x\",mode=\"y\"} +Inf\n";
+        assert!(validate(doc).is_ok());
+        assert!(validate("# TYPE g gauge\ng{kind=x} 1\n").is_err());
+    }
+
+    #[test]
+    fn real_render_passes() {
+        tgl_obs::counter!("promcheck.test.events").add(2);
+        tgl_obs::gauge!("promcheck.test.level").set(1.25);
+        tgl_obs::histogram!("promcheck.test.lat_ns").record_always(300);
+        tgl_obs::histogram!("promcheck.test.lat_ns").record_always(90_000);
+        let doc = tgl_obs::expo::render_prometheus();
+        let s = validate(&doc).unwrap_or_else(|e| panic!("render invalid: {e}\n{doc}"));
+        assert!(s
+            .histogram_names
+            .iter()
+            .any(|n| n == "tgl_promcheck_test_lat_ns"));
+    }
+}

@@ -9,8 +9,12 @@
 //! * [`runner`] — experiment configuration (framework × model ×
 //!   dataset × data placement) and a single entry point that returns
 //!   the timing/accuracy numbers each table/figure needs;
-//! * [`table`] — fixed-width text rendering for paper-style tables.
+//! * [`table`] — fixed-width text rendering for paper-style tables;
+//! * [`health`] — training-health monitor: NaN/Inf sentinels with a
+//!   configurable policy (`TGL_HEALTH=off|warn|fail`) and per-epoch
+//!   gradient-norm / update-ratio / loss-trend gauges.
 
+pub mod health;
 pub mod logging;
 pub mod metrics;
 pub mod report;
@@ -19,6 +23,7 @@ pub mod table;
 mod trainer;
 
 pub use runner::{run_experiment, run_experiment_with_capacity, ExperimentConfig, ExperimentResult, Framework, ModelKind, Placement};
+pub use health::{grad_norm, EpochHealth, HealthMonitor, HealthPolicy};
 pub use logging::MetricLog;
-pub use report::{EpochReport, RunReport, RunReporter};
+pub use report::{EpochReport, HealthSection, RunReport, RunReporter};
 pub use trainer::{process_cpu_seconds, CpuTimer, EpochStats, TrainConfig, Trainer};

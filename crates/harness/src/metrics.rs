@@ -36,8 +36,11 @@ pub fn average_precision(pos: &[f32], neg: &[f32]) -> f64 {
         .map(|&s| (s, true))
         .chain(neg.iter().map(|&s| (s, false)))
         .collect();
-    // Descending score; ties put negatives first (pessimistic).
-    scored.sort_by(|a, b| match b.0.partial_cmp(&a.0).expect("finite scores") {
+    // Descending score; ties put negatives first (pessimistic). Total
+    // order so non-finite scores rank deterministically instead of
+    // panicking — the health monitor, not this metric, decides what a
+    // poisoned evaluation means.
+    scored.sort_by(|a, b| match b.0.total_cmp(&a.0) {
         std::cmp::Ordering::Equal => a.1.cmp(&b.1),
         o => o,
     });

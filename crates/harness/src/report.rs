@@ -1,39 +1,52 @@
 //! Machine-readable run reports.
 //!
 //! A [`RunReporter`] rides along a training run: per epoch it drains
-//! the global phase accumulator (`tglite::prof`) and diffs the global
-//! counter registry (`tglite::obs::metrics`), producing one
-//! [`RunReport`] JSON document with the Fig. 7 phase breakdown and the
-//! Table 6 redundancy counters for every epoch — the structured
+//! the global phase accumulator (`tglite::prof`), diffs the global
+//! counter registry and the latency histograms (`tgl_obs`), producing
+//! one [`RunReport`] JSON document with the Fig. 7 phase breakdown and
+//! the Table 6 redundancy counters for every epoch — the structured
 //! counterpart to the [`MetricLog`](crate::MetricLog) CSV.
 //!
-//! Schema (`"schema": "tgl-run-report/v1"`):
+//! Schema (`"schema": "tgl-run-report/v2"`; v1 lacked `hists`,
+//! `histograms`, `gauges`, and `health`):
 //!
 //! ```json
 //! {
-//!   "schema": "tgl-run-report/v1",
+//!   "schema": "tgl-run-report/v2",
 //!   "meta": {"model": "tgat", "dataset": "wiki", ...},
 //!   "epochs": [
 //!     {"epoch": 0, "loss": 0.61, "train_s": 1.9, "val_ap": 0.93,
 //!      "phases_s": {"sample": 0.41, "attention": 0.62, ...},
-//!      "counters": {"cache.hits": 0, "sampler.neighbors": 51200, ...}},
+//!      "counters": {"cache.hits": 0, "sampler.neighbors": 51200, ...},
+//!      "hists": {"step.latency_ns": {"count": 12, "p50": 31e6, ...}}},
 //!     ...
 //!   ],
 //!   "test": {"ap": 0.94, "secs": 0.7},
-//!   "counters_total": {"cache.hits": 123, ...}
+//!   "counters_total": {"cache.hits": 123, ...},
+//!   "histograms": {"step.latency_ns": {"count": 36, "sum": 9.1e8,
+//!                  "mean": 2.5e7, "p50": 2.4e7, "p90": 4.0e7,
+//!                  "p99": 6.1e7, "max": 66123456}, ...},
+//!   "gauges": {"health.grad_norm": 0.82, ...},
+//!   "health": {"policy": "warn", "status": "ok", "loss_trend": -0.12,
+//!              "dropped": 0, "events": [{"level": "warn",
+//!              "source": "trainer.loss", "message": "...", "seq": 3}]}
 //! }
 //! ```
 //!
-//! Per-epoch `counters` are deltas over that epoch; `counters_total`
-//! holds the absolute values at finish.
+//! Per-epoch `counters`/`hists` are deltas over that epoch;
+//! `counters_total`/`histograms` hold the absolute values at finish.
+//! While a run is in flight the reporter also publishes the
+//! report-so-far (with `"in_progress": true` and no `test` section) to
+//! the live exposition endpoint, so `GET /report.json` works mid-run.
 
 use std::collections::HashMap;
 use std::path::Path;
 
 use tgl_data::Json;
+use tgl_obs::hist::HistSnapshot;
 use tglite::{obs, prof};
 
-use crate::EpochStats;
+use crate::{EpochStats, HealthPolicy};
 
 /// One epoch's measurements: trainer stats + phase durations + counter
 /// deltas.
@@ -52,6 +65,26 @@ pub struct EpochReport {
     pub phases_s: Vec<(String, f64)>,
     /// Counter increments during the epoch, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Histogram sample deltas during the epoch (histograms with no
+    /// new samples omitted), sorted by name. `max` is the lifetime
+    /// maximum, not the per-epoch one (see [`HistSnapshot::diff`]).
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+/// The run report's `health` section.
+#[derive(Debug, Clone)]
+pub struct HealthSection {
+    /// Active health policy label (`off` / `warn` / `fail`).
+    pub policy: String,
+    /// `"ok"`, or the worst event level seen during the run.
+    pub status: String,
+    /// Relative mean-loss change, last epoch vs the one before
+    /// (negative = improving; 0 with fewer than two epochs).
+    pub loss_trend: f64,
+    /// Health events recorded during the run, in order.
+    pub events: Vec<obs::health::HealthEvent>,
+    /// Events that overflowed the bounded sink.
+    pub dropped: u64,
 }
 
 /// A completed run's structured report.
@@ -67,43 +100,88 @@ pub struct RunReport {
     pub test_s: f64,
     /// Absolute counter values at the end of the run, sorted by name.
     pub counters_total: Vec<(String, u64)>,
+    /// Absolute histogram state at the end of the run (empty
+    /// histograms omitted), sorted by name.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Gauge values at the end of the run, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Training-health summary.
+    pub health: HealthSection,
+}
+
+/// One histogram as report JSON: counts plus interpolated quantiles.
+fn hist_json(s: &HistSnapshot) -> Json {
+    Json::obj(vec![
+        ("count".into(), Json::Num(s.count as f64)),
+        ("sum".into(), Json::Num(s.sum as f64)),
+        ("mean".into(), Json::Num(s.mean())),
+        ("p50".into(), Json::Num(s.quantile(0.5))),
+        ("p90".into(), Json::Num(s.quantile(0.9))),
+        ("p99".into(), Json::Num(s.quantile(0.99))),
+        ("max".into(), Json::Num(s.max as f64)),
+    ])
+}
+
+fn hists_json(hists: &[(String, HistSnapshot)]) -> Json {
+    Json::Obj(hists.iter().map(|(n, s)| (n.clone(), hist_json(s))).collect())
+}
+
+fn epoch_json(e: &EpochReport) -> Json {
+    Json::obj(vec![
+        ("epoch".into(), Json::Num(e.epoch as f64)),
+        ("loss".into(), Json::Num(e.loss as f64)),
+        ("train_s".into(), Json::Num(e.train_s)),
+        ("val_ap".into(), Json::Num(e.val_ap)),
+        (
+            "phases_s".into(),
+            Json::Obj(
+                e.phases_s
+                    .iter()
+                    .map(|(n, s)| (n.clone(), Json::Num(*s)))
+                    .collect(),
+            ),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(
+                e.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        ("hists".into(), hists_json(&e.hists)),
+    ])
+}
+
+fn health_json(h: &HealthSection) -> Json {
+    let events = h
+        .events
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("level".into(), Json::Str(e.level.label().into())),
+                ("source".into(), Json::Str(e.source.into())),
+                ("message".into(), Json::Str(e.message.clone())),
+                ("seq".into(), Json::Num(e.seq as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("policy".into(), Json::Str(h.policy.clone())),
+        ("status".into(), Json::Str(h.status.clone())),
+        ("loss_trend".into(), Json::Num(h.loss_trend)),
+        ("dropped".into(), Json::Num(h.dropped as f64)),
+        ("events".into(), Json::Arr(events)),
+    ])
 }
 
 impl RunReport {
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
-        let epochs = self
-            .epochs
-            .iter()
-            .map(|e| {
-                Json::obj(vec![
-                    ("epoch".into(), Json::Num(e.epoch as f64)),
-                    ("loss".into(), Json::Num(e.loss as f64)),
-                    ("train_s".into(), Json::Num(e.train_s)),
-                    ("val_ap".into(), Json::Num(e.val_ap)),
-                    (
-                        "phases_s".into(),
-                        Json::Obj(
-                            e.phases_s
-                                .iter()
-                                .map(|(n, s)| (n.clone(), Json::Num(*s)))
-                                .collect(),
-                        ),
-                    ),
-                    (
-                        "counters".into(),
-                        Json::Obj(
-                            e.counters
-                                .iter()
-                                .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect();
+        let epochs = self.epochs.iter().map(epoch_json).collect();
         Json::obj(vec![
-            ("schema".into(), Json::Str("tgl-run-report/v1".into())),
+            ("schema".into(), Json::Str("tgl-run-report/v2".into())),
             ("meta".into(), Json::Obj(self.meta.clone())),
             ("epochs".into(), Json::Arr(epochs)),
             (
@@ -122,6 +200,17 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            ("histograms".into(), hists_json(&self.histograms)),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("health".into(), health_json(&self.health)),
         ])
         .render()
     }
@@ -147,13 +236,18 @@ pub struct RunReporter {
     meta: Vec<(String, Json)>,
     epochs: Vec<EpochReport>,
     last_counters: HashMap<String, u64>,
+    last_hists: HashMap<String, HistSnapshot>,
+    /// Number of health events that existed before the run: only later
+    /// events belong to this report.
+    health_events0: usize,
     prof_was_enabled: bool,
 }
 
 impl RunReporter {
     /// Starts reporting: enables phase profiling (restored by
     /// [`finish`](RunReporter::finish)), drains any stale phases, and
-    /// baselines counters so epoch deltas start from here.
+    /// baselines counters, histograms, and health events so epoch
+    /// deltas start from here.
     pub fn start() -> RunReporter {
         let prof_was_enabled = prof::enabled();
         prof::enable(true);
@@ -162,6 +256,8 @@ impl RunReporter {
             meta: Vec::new(),
             epochs: Vec::new(),
             last_counters: snapshot_map(),
+            last_hists: hist_map(),
+            health_events0: obs::health::events().len(),
             prof_was_enabled,
         }
     }
@@ -198,6 +294,16 @@ impl RunReporter {
             .collect();
         counters.sort();
         self.last_counters = now;
+        let hist_now = hist_map();
+        let mut hists: Vec<(String, HistSnapshot)> = hist_now
+            .iter()
+            .filter_map(|(n, s)| {
+                let delta = s.diff(self.last_hists.get(n).unwrap_or(&HistSnapshot::default()));
+                (!delta.is_empty()).then(|| (n.clone(), delta))
+            })
+            .collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        self.last_hists = hist_now;
         self.epochs.push(EpochReport {
             epoch,
             loss: stats.loss,
@@ -205,11 +311,59 @@ impl RunReporter {
             val_ap: stats.val_ap,
             phases_s,
             counters,
+            hists,
         });
+        // Make the report-so-far scrapeable mid-run: /report.json on
+        // the exposition endpoint always serves the latest publish.
+        obs::expo::publish_report(self.in_progress_json());
     }
 
-    /// Finishes the run: restores the profiler's previous enable state
-    /// and returns the report with final absolute counter values.
+    /// The report-so-far as JSON (`"in_progress": true`, no `test`
+    /// section yet).
+    fn in_progress_json(&self) -> String {
+        let mut meta = self.meta.clone();
+        meta.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::obj(vec![
+            ("schema".into(), Json::Str("tgl-run-report/v2".into())),
+            ("in_progress".into(), Json::Bool(true)),
+            ("meta".into(), Json::Obj(meta)),
+            ("epochs".into(), Json::Arr(self.epochs.iter().map(epoch_json).collect())),
+            ("health".into(), health_json(&self.collect_health())),
+        ])
+        .render()
+    }
+
+    /// Builds the health section from events recorded since
+    /// [`start`](RunReporter::start) and the epoch loss series.
+    fn collect_health(&self) -> HealthSection {
+        let all = obs::health::events();
+        let events: Vec<_> = all.get(self.health_events0..).unwrap_or(&[]).to_vec();
+        let status = events
+            .iter()
+            .map(|e| e.level)
+            .max()
+            .map_or("ok", |l| l.label())
+            .to_string();
+        let loss_trend = match self.epochs.len() {
+            0 | 1 => 0.0,
+            n => {
+                let prev = self.epochs[n - 2].loss as f64;
+                let last = self.epochs[n - 1].loss as f64;
+                (last - prev) / prev.abs().max(1e-12)
+            }
+        };
+        HealthSection {
+            policy: HealthPolicy::from_env().label().to_string(),
+            status,
+            loss_trend,
+            events,
+            dropped: obs::health::dropped(),
+        }
+    }
+
+    /// Finishes the run: restores the profiler's previous enable
+    /// state, publishes the final report to the exposition endpoint,
+    /// and returns it with final absolute counter/histogram values.
     pub fn finish(mut self, test_ap: f64, test_s: f64) -> RunReport {
         prof::take();
         prof::enable(self.prof_was_enabled);
@@ -218,14 +372,28 @@ impl RunReporter {
             .map(|(n, v)| (n.to_string(), v))
             .collect();
         counters_total.sort();
+        let mut histograms: Vec<(String, HistSnapshot)> = hist_map()
+            .into_iter()
+            .filter(|(_, s)| !s.is_empty())
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let health = self.collect_health();
         self.meta.sort_by(|a, b| a.0.cmp(&b.0));
-        RunReport {
+        let report = RunReport {
             meta: std::mem::take(&mut self.meta),
             epochs: std::mem::take(&mut self.epochs),
             test_ap,
             test_s,
             counters_total,
-        }
+            histograms,
+            gauges: obs::hist::gauge_snapshot()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            health,
+        };
+        obs::expo::publish_report(report.to_json());
+        report
     }
 }
 
@@ -233,6 +401,13 @@ fn snapshot_map() -> HashMap<String, u64> {
     obs::metrics::snapshot()
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
+        .collect()
+}
+
+fn hist_map() -> HashMap<String, HistSnapshot> {
+    obs::hist::hist_snapshot()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s))
         .collect()
 }
 
@@ -301,8 +476,10 @@ mod tests {
         let v = Json::parse(&report.to_json()).expect("report must be valid JSON");
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
-            Some("tgl-run-report/v1")
+            Some("tgl-run-report/v2")
         );
+        assert!(v.get("histograms").is_some());
+        assert!(v.get("health").and_then(|h| h.get("status")).is_some());
         let epochs = v.get("epochs").and_then(Json::as_arr).unwrap();
         assert_eq!(epochs.len(), 1);
         assert!(epochs[0]
@@ -314,6 +491,80 @@ mod tests {
             Some("wiki \"scaled\"")
         );
         assert!(v.get("test").and_then(|t| t.get("ap")).is_some());
+    }
+
+    #[test]
+    fn reporter_collects_histogram_deltas_and_quantiles() {
+        let _g = serial();
+        let mut rep = RunReporter::start();
+        obs::hist::histogram("report.test.lat_ns").record_always(1000);
+        obs::hist::histogram("report.test.lat_ns").record_always(3000);
+        rep.record_epoch(0, &stats());
+        obs::hist::histogram("report.test.lat_ns").record_always(5000);
+        rep.record_epoch(1, &stats());
+        let report = rep.finish(0.9, 0.1);
+
+        let epoch_delta = |e: &EpochReport| {
+            e.hists
+                .iter()
+                .find(|(n, _)| n == "report.test.lat_ns")
+                .map(|(_, s)| s.count)
+        };
+        assert_eq!(epoch_delta(&report.epochs[0]), Some(2));
+        assert_eq!(epoch_delta(&report.epochs[1]), Some(1));
+        let (_, total) = report
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "report.test.lat_ns")
+            .expect("histogram totals present");
+        assert!(total.count >= 3);
+        // Quantiles appear in the rendered JSON.
+        let v = Json::parse(&report.to_json()).unwrap();
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("report.test.lat_ns"))
+            .expect("histogram in JSON");
+        for key in ["count", "sum", "mean", "p50", "p90", "p99", "max"] {
+            assert!(h.get(key).and_then(Json::as_num).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn health_events_during_run_land_in_report() {
+        let _g = serial();
+        let mut rep = RunReporter::start();
+        obs::health::record(
+            obs::health::Level::Warn,
+            "report.test",
+            "synthetic wobble".into(),
+        );
+        rep.record_epoch(0, &stats());
+        let report = rep.finish(0.9, 0.1);
+        assert!(report
+            .health
+            .events
+            .iter()
+            .any(|e| e.source == "report.test"));
+        assert_ne!(report.health.status, "ok");
+        // In-progress publication made /report.json-able JSON.
+        let latest = obs::expo::latest_report().expect("report published");
+        let v = Json::parse(&latest).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("tgl-run-report/v2"));
+    }
+
+    #[test]
+    fn loss_trend_tracks_epoch_losses() {
+        let _g = serial();
+        let mut rep = RunReporter::start();
+        let mk = |loss: f32| EpochStats {
+            loss,
+            train_time_s: 1.0,
+            val_ap: 0.9,
+        };
+        rep.record_epoch(0, &mk(2.0));
+        rep.record_epoch(1, &mk(1.0));
+        let report = rep.finish(0.9, 0.1);
+        assert!((report.health.loss_trend + 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use tgl_tensor::optim::Adam;
 use tgl_tensor::{bce_with_logits, no_grad, ops::cat, Tensor};
 use tglite::{TBatch, TContext};
 
+use crate::health::{HealthMonitor, HealthPolicy};
 use crate::metrics::average_precision;
 
 /// Seconds of CPU time this process has consumed (user + system,
@@ -98,13 +99,29 @@ pub struct Trainer {
     cfg: TrainConfig,
     neg_lo: u32,
     neg_hi: u32,
+    /// Health monitor state, kept across epochs (loss trend). Behind a
+    /// mutex only because `train_epoch` takes `&self`.
+    health: std::sync::Mutex<HealthMonitor>,
 }
 
 impl Trainer {
     /// Creates a trainer drawing negatives from node ids
-    /// `[neg_lo, neg_hi)`.
+    /// `[neg_lo, neg_hi)`. The health policy comes from `TGL_HEALTH`
+    /// (default warn); override with
+    /// [`with_health`](Trainer::with_health).
     pub fn new(cfg: TrainConfig, neg_lo: u32, neg_hi: u32) -> Trainer {
-        Trainer { cfg, neg_lo, neg_hi }
+        Trainer {
+            cfg,
+            neg_lo,
+            neg_hi,
+            health: std::sync::Mutex::new(HealthMonitor::new(HealthPolicy::from_env())),
+        }
+    }
+
+    /// Replaces the health policy (e.g. `HealthPolicy::Fail` in CI).
+    pub fn with_health(mut self, policy: HealthPolicy) -> Trainer {
+        self.health = std::sync::Mutex::new(HealthMonitor::new(policy));
+        self
     }
 
     /// The configured batch size.
@@ -131,16 +148,30 @@ impl Trainer {
             self.cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9),
         );
         let g = ctx.graph().clone();
+        let params = model.parameters();
+        let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        health.begin_epoch(&params);
         let start = CpuTimer::start();
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut seen = 0usize;
         for range in Split::batches(&split.train, self.cfg.batch_size) {
+            let _step = tgl_obs::histogram!("step.latency_ns").timer();
             let mut batch = TBatch::new(g.clone(), range);
             batch.set_negatives(negs.draw(batch.len()));
             opt.zero_grad();
             let (pos, neg) = model.forward(ctx, &batch);
             let loss = link_loss(&pos, &neg);
-            total_loss += loss.item() as f64;
+            let loss_v = loss.item();
+            seen += 1;
+            if !health.check_loss(epoch, seen - 1, loss_v) {
+                // Poisoned batch: backpropagating a non-finite loss
+                // would corrupt the parameters. Skip it (the event is
+                // already recorded) but still drop stale caches.
+                ctx.clear_caches();
+                continue;
+            }
+            total_loss += loss_v as f64;
             batches += 1;
             {
                 let _b = tglite::prof::scope("backward");
@@ -154,9 +185,12 @@ impl Trainer {
             ctx.clear_caches();
         }
         let train_time_s = start.elapsed_s();
+        let mean_loss = total_loss / batches.max(1) as f64;
+        health.end_epoch(epoch, &params, mean_loss);
+        drop(health);
         let (val_ap, _) = self.evaluate(model, ctx, split.val.clone());
         EpochStats {
-            loss: (total_loss / batches.max(1) as f64) as f32,
+            loss: mean_loss as f32,
             train_time_s,
             val_ap,
         }
@@ -190,6 +224,14 @@ impl Trainer {
         let secs = start.elapsed_s();
         model.set_training(true);
         if all_pos.is_empty() {
+            return (0.0, secs);
+        }
+        // A poisoned model produces non-finite scores; an AP over those
+        // is noise, so report 0 and leave a structured event behind.
+        let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        let finite = health.check_scores(&all_pos) & health.check_scores(&all_neg);
+        drop(health);
+        if !finite {
             return (0.0, secs);
         }
         (average_precision(&all_pos, &all_neg), secs)

@@ -1,0 +1,346 @@
+//! Live metrics exposition over HTTP — std-only (`std::net`), no deps.
+//!
+//! [`start`] binds a `TcpListener` and serves, from a background
+//! thread, a read-only snapshot of the process's metrics surface:
+//!
+//! * `GET /metrics` — Prometheus text exposition format (version
+//!   0.0.4): every registered counter (as `_total`), gauge, and
+//!   histogram (cumulative `_bucket{le="..."}` series + `_sum` +
+//!   `_count`, bounds in nanoseconds matching the `_ns` convention).
+//! * `GET /healthz` — `200 {"status":"ok"|"degraded"}` while no `fail`
+//!   health event is recorded, `503 {"status":"failing", ...}` after.
+//! * `GET /report.json` — the most recently [`publish_report`]ed run
+//!   report (the in-progress document while a run is live), `404`
+//!   before the first publish.
+//! * `GET /quit` — releases [`wait_for_quit`] so a driver script can
+//!   scrape a short-lived process deterministically and then let it
+//!   exit.
+//!
+//! The server is deliberately minimal: HTTP/1.0 semantics, one request
+//! per connection, everything rendered from atomics at request time. It
+//! never writes to any metric, so scraping cannot perturb a run beyond
+//! the snapshot loads themselves.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{health, hist, metrics};
+
+static REPORT: Mutex<Option<String>> = Mutex::new(None);
+static QUIT: Mutex<bool> = Mutex::new(false);
+static QUIT_CV: Condvar = Condvar::new();
+
+/// Publishes (replaces) the document served at `/report.json`.
+/// Harness reporters call this after every epoch so the endpoint shows
+/// the in-progress run, not just the finished one.
+pub fn publish_report(json: String) {
+    *REPORT.lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
+}
+
+/// The most recently published report, if any.
+pub fn latest_report() -> Option<String> {
+    REPORT.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Blocks until a `/quit` request arrives or `timeout` elapses.
+/// Returns `true` when quit was requested.
+pub fn wait_for_quit(timeout: Duration) -> bool {
+    let guard = QUIT.lock().unwrap_or_else(|e| e.into_inner());
+    let (guard, result) = QUIT_CV
+        .wait_timeout_while(guard, timeout, |quit| !*quit)
+        .unwrap_or_else(|e| e.into_inner());
+    drop(guard);
+    !result.timed_out()
+}
+
+fn signal_quit() {
+    *QUIT.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    QUIT_CV.notify_all();
+}
+
+/// Mangles a dotted metric name into a valid Prometheus metric name:
+/// `tensor.pool.hit` → `tgl_tensor_pool_hit`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("tgl_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a float the exposition format accepts (no exponent
+/// surprises for integral values).
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the full Prometheus text exposition document from the
+/// current counter / gauge / histogram registries.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    for (name, value) in metrics::snapshot() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p}_total counter\n{p}_total {value}\n"));
+    }
+    for (name, value) in hist::gauge_snapshot() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", prom_num(value)));
+    }
+    for (name, snap) in hist::hist_snapshot() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        // Cumulative counts up to the highest non-empty bucket, then
+        // +Inf. An empty histogram still exposes its +Inf bucket so the
+        // family is visible as soon as it is registered.
+        let last = snap
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for i in 0..last {
+            cum += snap.buckets[i];
+            out.push_str(&format!(
+                "{p}_bucket{{le=\"{}\"}} {cum}\n",
+                hist::bucket_hi(i)
+            ));
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        out.push_str(&format!("{p}_sum {}\n", snap.sum));
+        out.push_str(&format!("{p}_count {}\n", snap.count));
+    }
+    out
+}
+
+/// Renders the `/healthz` body and whether the process is healthy.
+fn render_health() -> (bool, String) {
+    let worst = health::worst();
+    let status = match worst {
+        Some(health::Level::Fail) => "failing",
+        Some(health::Level::Warn) => "degraded",
+        _ => "ok",
+    };
+    let events = health::events();
+    let body = format!(
+        "{{\"status\":\"{status}\",\"events\":{},\"dropped\":{}}}\n",
+        events.len(),
+        health::dropped()
+    );
+    (worst != Some(health::Level::Fail), body)
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok() && line.trim() != "" {
+        line.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = render_prometheus();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => {
+            let (ok, body) = render_health();
+            let status = if ok { "200 OK" } else { "503 Service Unavailable" };
+            respond(&mut stream, status, "application/json", &body);
+        }
+        "/report.json" | "/report" => match latest_report() {
+            Some(json) => respond(&mut stream, "200 OK", "application/json", &json),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"no report published yet\"}\n",
+            ),
+        },
+        "/quit" => {
+            respond(&mut stream, "200 OK", "text/plain", "bye\n");
+            signal_quit();
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain",
+            "tgl metrics server: /metrics /healthz /report.json /quit\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves the exposition
+/// endpoints from a detached background thread for the life of the
+/// process. Returns the bound address (useful with port 0).
+///
+/// # Errors
+///
+/// Returns the bind error when the address is unavailable.
+pub fn start(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("tgl-metrics-server".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(s) => handle(s),
+                    Err(_) => continue,
+                }
+            }
+        })
+        .expect("spawn metrics server thread");
+    Ok(bound)
+}
+
+/// Starts the server when `TGL_METRICS_ADDR` is set; returns the bound
+/// address when it did. Bind failures are reported on stderr, not
+/// fatal: metrics exposition must never take a training run down.
+pub fn start_from_env() -> Option<SocketAddr> {
+    let addr = std::env::var("TGL_METRICS_ADDR").ok()?;
+    match start(&addr) {
+        Ok(bound) => Some(bound),
+        Err(e) => {
+            eprintln!("TGL_METRICS_ADDR={addr}: bind failed: {e}");
+            None
+        }
+    }
+}
+
+/// Minimal scrape client for the server above (used by `tgl promcheck`
+/// and the test suite): sends `GET path` to `addr`, returns
+/// `(status_code, body)`.
+///
+/// # Errors
+///
+/// Returns connection or protocol errors.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prom_names_are_legal() {
+        assert_eq!(prom_name("tensor.pool.hit"), "tgl_tensor_pool_hit");
+        assert_eq!(prom_name("pool.busy_ns.t3"), "tgl_pool_busy_ns_t3");
+    }
+
+    #[test]
+    fn render_contains_counters_gauges_and_histograms() {
+        crate::counter!("test.expo.count").add(3);
+        crate::gauge!("test.expo.level").set(1.5);
+        crate::histogram!("test.expo.lat_ns").record_always(700);
+        let doc = render_prometheus();
+        assert!(doc.contains("# TYPE tgl_test_expo_count_total counter"));
+        assert!(doc.contains("tgl_test_expo_count_total"));
+        assert!(doc.contains("# TYPE tgl_test_expo_level gauge"));
+        assert!(doc.contains("tgl_test_expo_level 1.5"));
+        assert!(doc.contains("# TYPE tgl_test_expo_lat_ns histogram"));
+        assert!(doc.contains("tgl_test_expo_lat_ns_bucket{le=\"+Inf\"}"));
+        assert!(doc.contains("tgl_test_expo_lat_ns_sum"));
+        assert!(doc.contains("tgl_test_expo_lat_ns_count"));
+        // Bucket lines are cumulative and end at the +Inf total.
+        let bucket_lines: Vec<u64> = doc
+            .lines()
+            .filter(|l| l.starts_with("tgl_test_expo_lat_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_lines.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn server_serves_metrics_healthz_report_and_quit() {
+        let addr = start("127.0.0.1:0").expect("bind");
+        let addr = addr.to_string();
+
+        let (code, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("# TYPE "), "exposition body: {body:?}");
+
+        let (code, body) = http_get(&addr, "/healthz").expect("scrape /healthz");
+        assert!(code == 200 || code == 503);
+        assert!(body.contains("\"status\""));
+
+        let (code, _) = http_get(&addr, "/nope").expect("scrape 404");
+        assert_eq!(code, 404);
+
+        publish_report("{\"schema\":\"tgl-run-report/v2\"}".into());
+        let (code, body) = http_get(&addr, "/report.json").expect("scrape report");
+        assert_eq!(code, 200);
+        assert!(body.contains("tgl-run-report"));
+
+        assert!(!wait_for_quit(Duration::from_millis(1)));
+        let (code, _) = http_get(&addr, "/quit").expect("quit");
+        assert_eq!(code, 200);
+        assert!(wait_for_quit(Duration::from_secs(5)));
+    }
+}

@@ -23,6 +23,19 @@
 //!   `tglite::prof`, phases recorded on *any* thread — including pool
 //!   workers — aggregate into the one report the caller drains.
 //!
+//! * [`hist`] — log2-bucketed atomic [`hist::Histogram`]s (latency
+//!   distributions: p50/p90/p99/max via the [`histogram!`] macro) and
+//!   last-write-wins [`hist::Gauge`]s ([`gauge!`]), sharing the
+//!   counter enable gate.
+//!
+//! * [`health`] — a bounded sink of structured [`health::HealthEvent`]s
+//!   (NaN sentinels, divergence warnings) that subsystems record
+//!   instead of panicking.
+//!
+//! * [`expo`] — a std-only (`std::net::TcpListener`) HTTP server
+//!   exposing `/metrics` (Prometheus text format), `/healthz`, and
+//!   `/report.json` for live scraping of a running process.
+//!
 //! A single [`span`] guard feeds both sinks: phase aggregation when
 //! profiling is enabled, span events when tracing is enabled. Both are
 //! off by default; a disabled guard does one relaxed atomic load.
@@ -43,6 +56,9 @@
 //! assert!(tgl_obs::metrics::get("demo.hits") >= 3);
 //! ```
 
+pub mod expo;
+pub mod health;
+pub mod hist;
 pub mod metrics;
 pub mod phase;
 pub mod trace;

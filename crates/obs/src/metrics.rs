@@ -12,6 +12,7 @@
 //! `pool.busy_ns.t3`. Byte counts end in `_bytes`, nanosecond totals in
 //! `_ns`; everything else is an event count.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -71,48 +72,67 @@ impl Counter {
     }
 }
 
-/// Registered counters, in registration order. Entries are leaked
-/// intentionally: counters are process-lifetime statics.
-static REGISTRY: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+/// Registered counters: a `HashMap` keyed by interned name for O(1)
+/// registration-time lookup (per-worker `counter_owned` sites used to
+/// pay an O(n) scan per call) plus a `Vec` preserving registration
+/// order so iteration stays stable. Entries are leaked intentionally:
+/// counters are process-lifetime statics.
+struct Registry {
+    by_name: HashMap<&'static str, &'static Counter>,
+    in_order: Vec<&'static Counter>,
+}
+
+impl Registry {
+    fn insert(&mut self, name: &'static str) -> &'static Counter {
+        let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+        self.by_name.insert(name, c);
+        self.in_order.push(c);
+        c
+    }
+}
+
+static REGISTRY: std::sync::LazyLock<Mutex<Registry>> = std::sync::LazyLock::new(|| {
+    Mutex::new(Registry {
+        by_name: HashMap::new(),
+        in_order: Vec::new(),
+    })
+});
 
 /// Returns the counter registered under `name`, creating it on first
 /// use. Prefer the `counter!` macro at instrumentation sites — it
 /// caches this lookup in a per-site `OnceLock`.
 pub fn counter(name: &'static str) -> &'static Counter {
     let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(c) = reg.iter().find(|c| c.name == name) {
+    if let Some(c) = reg.by_name.get(name) {
         return c;
     }
-    let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
-    reg.push(c);
-    c
+    reg.insert(name)
 }
 
 /// Registers a counter under a runtime-constructed name (e.g.
 /// per-worker `pool.busy_ns.t3`). The name string is interned (leaked)
-/// on first registration.
+/// on first registration; repeat registrations of an existing name
+/// allocate nothing.
 pub fn counter_owned(name: String) -> &'static Counter {
     let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(c) = reg.iter().find(|c| c.name == name) {
+    if let Some(c) = reg.by_name.get(name.as_str()) {
         return c;
     }
     let name: &'static str = Box::leak(name.into_boxed_str());
-    let c: &'static Counter = Box::leak(Box::new(Counter::new(name)));
-    reg.push(c);
-    c
+    reg.insert(name)
 }
 
 /// Current value of the counter named `name` (0 if never registered).
 pub fn get(name: &str) -> u64 {
     let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    reg.iter().find(|c| c.name == name).map_or(0, |c| c.get())
+    reg.by_name.get(name).map_or(0, |c| c.get())
 }
 
 /// Snapshot of every registered counter as `(name, value)`, sorted by
 /// name for stable report output.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
     let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    let mut v: Vec<_> = reg.iter().map(|c| (c.name, c.get())).collect();
+    let mut v: Vec<_> = reg.in_order.iter().map(|c| (c.name, c.get())).collect();
     v.sort_unstable_by_key(|&(n, _)| n);
     v
 }
@@ -120,7 +140,7 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
 /// Zeroes every registered counter (registrations persist).
 pub fn reset() {
     let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-    for c in reg.iter() {
+    for c in reg.in_order.iter() {
         c.value.store(0, Ordering::Relaxed);
     }
 }
@@ -183,6 +203,23 @@ mod tests {
         set_enabled(true);
         c.add(1);
         assert_eq!(c.get(), frozen + 1);
+    }
+
+    #[test]
+    fn repeat_registration_never_duplicates() {
+        for i in 0..50 {
+            counter_owned(format!("test.metrics.dup{}", i % 5)).incr();
+        }
+        let snap = snapshot();
+        for i in 0..5 {
+            let name = format!("test.metrics.dup{i}");
+            assert_eq!(
+                snap.iter().filter(|(n, _)| *n == name).count(),
+                1,
+                "{name} registered more than once"
+            );
+            assert_eq!(get(&name), 10);
+        }
     }
 
     #[test]

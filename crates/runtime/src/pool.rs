@@ -241,8 +241,12 @@ fn run_region<F: Fn(Range<usize>) + Sync>(total: usize, chunk: usize, par: usize
     let was_in_pool = IN_POOL.with(|flag| flag.replace(true));
     drain_job(&job);
     IN_POOL.with(|flag| flag.set(was_in_pool));
-    // Wait for helpers still finishing their claimed chunks.
+    // Wait for helpers still finishing their claimed chunks. The time
+    // the caller spends blocked here is the pool's tail latency — the
+    // cost of a straggler helper — distinct from `pool.busy_ns.*`
+    // (work executed) and metered as its own histogram family.
     {
+        let wait_timer = tgl_obs::histogram!("pool.wait_ns").timer();
         let mut guard = job.done_lock.lock().unwrap_or_else(|e| e.into_inner());
         while job.pending.load(Ordering::Acquire) != 0 {
             guard = job
@@ -250,6 +254,7 @@ fn run_region<F: Fn(Range<usize>) + Sync>(total: usize, chunk: usize, par: usize
                 .wait(guard)
                 .unwrap_or_else(|e| e.into_inner());
         }
+        drop(wait_timer);
     }
     let payload = job
         .panic
@@ -282,6 +287,11 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(total: usize, seq_threshold: usi
     if total == 0 {
         return;
     }
+    // Touch the wait-latency family so it is registered (and visible on
+    // /metrics as an empty histogram) even on narrow hosts where every
+    // region takes the sequential fast path and never blocks on
+    // helpers. Cached per call site: one relaxed load in steady state.
+    let _ = tgl_obs::histogram!("pool.wait_ns");
     let par = current_threads();
     if par <= 1 || total <= seq_threshold.max(1) || IN_POOL.with(|flag| flag.get()) {
         tgl_obs::counter!("pool.seq_fast_path").incr();

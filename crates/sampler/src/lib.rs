@@ -150,6 +150,7 @@ impl TemporalSampler {
         if n == 0 {
             return NeighborSample::default();
         }
+        let _lat = tgl_obs::histogram!("sampler.latency_ns").timer();
 
         // Pass 1: how many edges each destination contributes, so each
         // destination's rows land at an exact offset in pass 2.

@@ -78,6 +78,7 @@ pub(crate) fn mostly_zero(x: &[f32]) -> bool {
 
 /// C[m,n] += A[m,k] * B[k,n]
 pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = tgl_obs::histogram!("gemm.latency_ns").timer();
     if mostly_zero(a) {
         return mm_nn_sparse(a, b, c, m, k, n);
     }
@@ -177,6 +178,7 @@ fn mm_nn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 
 /// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
 pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    let _t = tgl_obs::histogram!("gemm.latency_ns").timer();
     let c = UnsafeSlice::new(c);
     parallel_for(m, seq_rows(n * k), |rows: std::ops::Range<usize>| {
         // SAFETY: disjoint row ranges per chunk.
@@ -218,6 +220,7 @@ pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: 
 /// over `i` in ascending order (`MC`-blocked, blocks ascending),
 /// matching the sequential kernel's floating-point order exactly.
 pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = tgl_obs::histogram!("gemm.latency_ns").timer();
     if mostly_zero(a) {
         return mm_tn_sparse(a, b, c, m, k, n);
     }

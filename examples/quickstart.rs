@@ -14,9 +14,13 @@
 //! The observability flags mirror the `tgl` CLI: `--prof` prints the
 //! per-phase breakdown, `--trace-out` writes a Chrome trace (open in
 //! chrome://tracing or ui.perfetto.dev), `--metrics-out` writes a
-//! structured JSON run report.
+//! structured JSON run report, `--serve-metrics <ADDR>` serves live
+//! `/metrics`, `/healthz`, and `/report.json` over HTTP while training
+//! (`--serve-hold` keeps serving until `GET /quit`), and `--move`
+//! exercises the CPU-to-GPU placement (per-batch metered transfers).
 
 use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
+use tgl_device::{Device, TransferModel};
 use tgl_harness::{RunReporter, TrainConfig, Trainer};
 use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgat};
 use tglite::TContext;
@@ -40,9 +44,19 @@ fn main() {
     let show_prof = arg_flag("--prof");
     let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
     let metrics_out = arg_value("--metrics-out").map(std::path::PathBuf::from);
+    let host_resident = arg_flag("--move");
     if trace_out.is_some() {
         tglite::obs::trace::enable(true);
     }
+    let serving = if let Some(addr) = arg_value("--serve-metrics") {
+        let bound = tglite::obs::expo::start(&addr).expect("--serve-metrics bind");
+        println!("metrics server listening on http://{bound}/metrics");
+        Some(bound)
+    } else {
+        tglite::obs::expo::start_from_env().inspect(|bound| {
+            println!("metrics server listening on http://{bound}/metrics");
+        })
+    };
 
     // 1. A continuous-time dynamic graph. Here: a synthetic stream
     //    shaped like the paper's Wiki dataset (bipartite user–page
@@ -60,8 +74,16 @@ fn main() {
     );
 
     // 2. The TGLite runtime context: target device, pinned pool,
-    //    embedding/time caches.
-    let ctx = TContext::new(graph.clone());
+    //    embedding/time caches. With `--move`, features stay on the
+    //    host while compute targets the accelerator, so every batch
+    //    crosses the (simulated, scaled) PCIe link — the paper's
+    //    CPU-to-GPU placement.
+    let ctx = if host_resident {
+        tgl_device::set_transfer_model(TransferModel::scaled(TransferModel::pcie_v100(), 400.0));
+        TContext::with_device(graph.clone(), Device::Accel)
+    } else {
+        TContext::new(graph.clone())
+    };
 
     // 3. A model composed from TGLite building blocks: 2 layers of
     //    temporal attention over 10 recent neighbors, with the paper's
@@ -102,7 +124,7 @@ fn main() {
         spec.n_src as u32,
         spec.num_nodes() as u32,
     );
-    let mut reporter = (show_prof || metrics_out.is_some()).then(|| {
+    let mut reporter = (show_prof || metrics_out.is_some() || serving.is_some()).then(|| {
         let mut rep = RunReporter::start();
         rep.set_meta("model", "TGAT");
         rep.set_meta("dataset", "Wiki");
@@ -151,7 +173,13 @@ fn main() {
 
     // The learning signal needs the full-size stream and all epochs; a
     // scaled-down quick run only checks the plumbing.
-    if scale <= 2 && epochs >= 3 {
+    if scale <= 2 && epochs >= 3 && !host_resident {
         assert!(test_ap > 0.5, "model should beat random");
     }
+
+    if serving.is_some() && arg_flag("--serve-hold") {
+        println!("holding for scrape: GET /quit to release (10 min timeout)");
+        tglite::obs::expo::wait_for_quit(std::time::Duration::from_secs(600));
+    }
+    tgl_device::set_transfer_model(TransferModel::disabled());
 }

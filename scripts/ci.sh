@@ -26,9 +26,39 @@ TGL_THREADS=2 cargo run --release --offline -q -p tgl-examples --bin quickstart 
 grep -Eq '"tensor\.pool\.hit": *[1-9]' "$OBS_DIR/report.json" \
     || { echo "run report shows no tensor pool hits"; exit 1; }
 
+echo "==> live /metrics exposition + scrape check"
+QS_LOG="$OBS_DIR/serve.log"
+TGL_THREADS=2 ./target/release/quickstart \
+    --scale 16 --epochs 1 --move \
+    --serve-metrics 127.0.0.1:0 --serve-hold >"$QS_LOG" 2>&1 &
+QS_PID=$!
+# Scrape only once training is done and the server is in its hold
+# phase, so every latency family has samples.
+for _ in $(seq 1 600); do
+    grep -q "holding for scrape" "$QS_LOG" 2>/dev/null && break
+    kill -0 "$QS_PID" 2>/dev/null || break
+    sleep 0.5
+done
+ADDR="$(sed -n 's#^metrics server listening on http://\([^/]*\)/metrics$#\1#p' "$QS_LOG" | head -1)"
+if [ -z "$ADDR" ] || ! grep -q "holding for scrape" "$QS_LOG"; then
+    echo "quickstart never reached its metrics hold phase"; cat "$QS_LOG"
+    kill "$QS_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/tgl promcheck "$ADDR" --min-hist 5 --quit \
+    || { cat "$QS_LOG"; kill "$QS_PID" 2>/dev/null || true; exit 1; }
+wait "$QS_PID"
+
 echo "==> allocation churn smoke (pool on vs off, bitwise loss guard)"
 cargo bench --offline -q -p tgl-bench --bench alloc_churn
 ./target/release/tgl jsoncheck BENCH_alloc.json
+
+echo "==> observability overhead guard (counters, histograms, gauges)"
+cargo bench --offline -q -p tgl-bench --bench obs_overhead
+./target/release/tgl jsoncheck BENCH_obs.json
+
+echo "==> bench trajectory vs committed baselines"
+scripts/bench_trend
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline -D warnings"

@@ -131,12 +131,161 @@ fn run_report_names_figure7_phases_and_roundtrips_as_json() {
     let doc = Json::parse(&rendered).expect("run report must be valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("tgl-run-report/v1")
+        Some("tgl-run-report/v2")
     );
     let epochs = doc.get("epochs").and_then(Json::as_arr).expect("epochs");
     assert_eq!(epochs.len(), 1);
     assert!(epochs[0].get("phases_s").is_some());
+    assert!(epochs[0].get("hists").is_some());
     assert!(doc.get("counters_total").is_some());
+    let health = doc.get("health").expect("v2 report carries a health section");
+    assert!(health.get("policy").and_then(Json::as_str).is_some());
+    assert!(health.get("status").and_then(Json::as_str).is_some());
+}
+
+/// The acceptance bar for the telemetry layer: one reported epoch on
+/// the accelerator placement must populate all five latency histogram
+/// families, their quantiles must appear in the v2 run report, and the
+/// live endpoint must expose the same families in Prometheus text
+/// format alongside `/healthz` and the published `/report.json`.
+#[test]
+fn live_metrics_endpoint_and_v2_report_cover_latency_histograms() {
+    let _g = serial();
+    set_threads(2);
+    let addr = tglite::obs::expo::start("127.0.0.1:0").expect("metrics server bind");
+
+    let cfg = obs_cfg();
+    let mut rep = RunReporter::start();
+    let (ctx, split, trainer, mut model, mut opt) = {
+        use tgl_data::{generate, Split};
+        use tgl_harness::Trainer;
+        use tgl_models::{OptFlags, TemporalModel, Tgat};
+        let (g, _) = generate(&cfg.dataset);
+        // Accel placement: every batch crosses the (simulated) link, so
+        // `transfer.latency_ns` records alongside step/sampler/gemm;
+        // two pool threads make `pool.wait_ns` record too.
+        let ctx = tglite::TContext::with_device(g.clone(), tgl_device::Device::Accel);
+        let model = Tgat::new(&ctx, cfg.model_cfg, OptFlags::all(), 42);
+        let opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+        let split = Split::standard(&g);
+        let trainer = Trainer::new(
+            cfg.train_cfg,
+            cfg.dataset.n_src as u32,
+            cfg.dataset.num_nodes() as u32,
+        );
+        (ctx, split, trainer, model, opt)
+    };
+    let stats = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, 0);
+    rep.record_epoch(0, &stats);
+    let report = rep.finish(0.5, 0.1);
+    set_threads(1);
+
+    const FAMILIES: [&str; 5] = [
+        "step.latency_ns",
+        "sampler.latency_ns",
+        "transfer.latency_ns",
+        "gemm.latency_ns",
+        "pool.wait_ns",
+    ];
+    let doc = Json::parse(&report.to_json()).expect("report JSON");
+    let hists = doc.get("histograms").expect("histograms section");
+    for fam in FAMILIES {
+        let h = hists
+            .get(fam)
+            .unwrap_or_else(|| panic!("report histograms missing {fam:?}"));
+        assert!(
+            h.get("count").and_then(Json::as_num).unwrap_or(0.0) > 0.0,
+            "{fam}: no samples recorded"
+        );
+        for q in ["p50", "p90", "p99", "max"] {
+            assert!(
+                h.get(q).and_then(Json::as_num).is_some(),
+                "{fam}: quantile {q} missing from report"
+            );
+        }
+    }
+
+    let addr = addr.to_string();
+    let (code, body) = tglite::obs::expo::http_get(&addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(code, 200, "metrics scrape failed: {body}");
+    for mangled in [
+        "tgl_step_latency_ns",
+        "tgl_sampler_latency_ns",
+        "tgl_transfer_latency_ns",
+        "tgl_gemm_latency_ns",
+        "tgl_pool_wait_ns",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {mangled} histogram")),
+            "/metrics missing histogram family {mangled}"
+        );
+        assert!(
+            body.contains(&format!("{mangled}_bucket{{le=\"+Inf\"}}")),
+            "/metrics missing +Inf bucket for {mangled}"
+        );
+    }
+    let (code, health) = tglite::obs::expo::http_get(&addr, "/healthz").expect("scrape /healthz");
+    assert!(code == 200 || code == 503, "unexpected /healthz code {code}");
+    assert!(health.contains("\"status\""), "healthz body: {health}");
+    let (code, rjson) =
+        tglite::obs::expo::http_get(&addr, "/report.json").expect("scrape /report.json");
+    assert_eq!(code, 200, "no report published: {rjson}");
+    let pdoc = Json::parse(&rjson).expect("published report must be valid JSON");
+    assert_eq!(
+        pdoc.get("schema").and_then(Json::as_str),
+        Some("tgl-run-report/v2")
+    );
+}
+
+/// Poisoned parameters must surface as structured health events, not a
+/// crash: under the default `warn` policy a NaN loss skips the batch,
+/// records a `trainer.loss` event and advances the
+/// `health.nonfinite_loss` counter, and the epoch still completes.
+#[test]
+fn injected_nan_loss_is_a_health_event_not_a_panic() {
+    let _g = serial();
+    use tgl_data::{generate, DatasetSpec, Split};
+    use tgl_harness::{HealthPolicy, TrainConfig, Trainer};
+    use tgl_models::{OptFlags, TemporalModel, Tgat};
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(20);
+    let (g, _) = generate(&spec);
+    let ctx = tglite::TContext::new(g.clone());
+    let mut model = Tgat::new(&ctx, ModelConfig::tiny(), OptFlags::all(), 7);
+    // Poison the weights: every forward pass now produces a NaN loss.
+    // (All of them — the segment kernels sanitize non-finite values in
+    // isolated spots, so a single poisoned tensor can slip through.)
+    for p in model.parameters() {
+        p.with_data_mut(|d| d.fill(f32::NAN));
+    }
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+    let split = Split::standard(&g);
+    let trainer = Trainer::new(
+        TrainConfig { batch_size: 200, epochs: 1, lr: 1e-3, seed: 0 },
+        spec.n_src as u32,
+        spec.num_nodes() as u32,
+    )
+    .with_health(HealthPolicy::Warn);
+
+    let events0 = tglite::obs::health::events().len();
+    let nonfinite0 = metrics::get("health.nonfinite_loss");
+    let stats = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, 0);
+
+    let events = tglite::obs::health::events();
+    assert!(
+        events.len() > events0,
+        "NaN loss recorded no health events"
+    );
+    assert!(
+        events[events0..].iter().any(|e| e.source == "trainer.loss"),
+        "no trainer.loss event among {:?}",
+        events[events0..].iter().map(|e| e.source).collect::<Vec<_>>()
+    );
+    assert!(
+        metrics::get("health.nonfinite_loss") > nonfinite0,
+        "health.nonfinite_loss counter did not advance"
+    );
+    // Every batch was skipped, so the mean loss over zero batches is 0.
+    assert_eq!(stats.loss, 0.0, "skipped batches should not contribute loss");
 }
 
 #[test]

@@ -345,6 +345,27 @@ fn pool_recycling_is_bitwise_invisible_to_full_epoch() {
 }
 
 #[test]
+fn histogram_counts_and_sums_invariant_across_thread_counts() {
+    let _g = serial();
+    // The latency histograms are recorded concurrently from pool
+    // workers; their count/sum/max/bucket state must depend only on the
+    // multiset of recorded values, never on how many threads recorded
+    // them. Record a fixed multiset through `parallel_for` itself so
+    // the samples genuinely arrive from different threads at t > 1.
+    let h = tglite::obs::hist::histogram("determinism.test_ns");
+    assert_invariant("histogram count/sum/max/buckets", || {
+        h.reset();
+        tgl_runtime::parallel_for(10_000, 1, |r| {
+            for i in r {
+                h.record_always((i as u64 % 97) * (i as u64 % 13 + 1));
+            }
+        });
+        let s = h.snapshot();
+        (s.count, s.sum, s.max, s.buckets.to_vec())
+    });
+}
+
+#[test]
 fn sum_all_matches_sequential_within_tolerance() {
     let _g = serial();
     // The chunked sum must stay within 1e-5 (relative) of a plain
