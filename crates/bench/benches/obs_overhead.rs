@@ -58,6 +58,11 @@ fn main() {
     let workload = || {
         let _s = prof::scope("obs-overhead-workload");
         let _lat = tgl_obs::histogram!("bench.workload_ns").timer();
+        // A per-op profiler site, the kind every tensor kernel now
+        // carries: disabled it must be one relaxed load.
+        let _op = tgl_obs::profile::op("bench.workload_op")
+            .flops(64)
+            .io(256, 256);
         let sample = sampler.sample(&csr, &nodes, &times);
         let blk = TBlock::new(&ctx, 0, nodes.clone(), times.clone());
         op::dedup(&blk);
@@ -75,19 +80,23 @@ fn main() {
         obs::metrics::set_enabled(false);
         prof::enable(false);
         obs::trace::enable(false);
+        obs::profile::enable(false);
         off.push(time_it(workload, 0.15));
 
         obs::metrics::set_enabled(true);
         prof::enable(true);
         obs::trace::enable(true);
+        obs::profile::enable(true);
         on.push(time_it(workload, 0.15));
-        // Drain so the trace sink cannot grow across rounds.
+        // Drain so the trace/profile sinks cannot grow across rounds.
         obs::trace::take();
         prof::take();
+        obs::profile::take();
     }
     obs::metrics::set_enabled(true);
     prof::enable(false);
     obs::trace::enable(false);
+    obs::profile::enable(false);
 
     let off_med = median(off);
     let on_med = median(on);
@@ -100,7 +109,8 @@ fn main() {
 
     // The ≤2% acceptance criterion applies to *disabled* observability.
     // Sites stay compiled in either way, so "disabled" here means all
-    // three enable gates off; the budget is 2% relative plus 5us
+    // four enable gates (metrics, phases, trace, op profiler) off; the
+    // budget is 2% relative plus 5us
     // absolute slack for single-core scheduler noise on a workload of
     // hundreds of microseconds.
     let budget = off_med * 1.02 + 5e-6;
@@ -153,15 +163,39 @@ fn main() {
         obs::metrics::set_enabled(true);
         med / SITES as f64 * 1e9
     };
+    let prof_op_path = || {
+        for i in 0..SITES {
+            let _g = tgl_obs::profile::op("bench.micro_op")
+                .flops(i as u64 & 0xFF)
+                .io(256, 256);
+        }
+        SITES
+    };
     let hist_off_ns = per_site(false, &mut { hist_path });
     let hist_on_ns = per_site(true, &mut { hist_path });
     let gauge_off_ns = per_site(false, &mut { gauge_path });
     let gauge_on_ns = per_site(true, &mut { gauge_path });
+    // The op-profiler gate is its own flag, not obs::metrics.
+    obs::profile::enable(false);
+    let prof_off_ns = {
+        let med = median((0..5).map(|_| time_it(prof_op_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::profile::enable(true);
+    let prof_on_ns = {
+        let med = median((0..5).map(|_| time_it(prof_op_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::profile::enable(false);
+    obs::profile::take();
     println!(
         "  hist.record:  {hist_off_ns:>6.2} ns/site disabled, {hist_on_ns:>6.2} ns/site enabled"
     );
     println!(
         "  gauge.set:    {gauge_off_ns:>6.2} ns/site disabled, {gauge_on_ns:>6.2} ns/site enabled"
+    );
+    println!(
+        "  profile.op:   {prof_off_ns:>6.2} ns/site disabled, {prof_on_ns:>6.2} ns/site enabled"
     );
 
     let json = format!(
@@ -169,7 +203,8 @@ fn main() {
          \"enabled\": {{\"wall_s\": {:.9}}},\n    \"recheck\": {{\"wall_s\": {:.9}}},\n    \
          \"overhead_pct\": {:.3}\n  }},\n  \"per_site_ns\": {{\n    \
          \"hist_record_disabled\": {:.2},\n    \"hist_record_enabled\": {:.2},\n    \
-         \"gauge_set_disabled\": {:.2},\n    \"gauge_set_enabled\": {:.2}\n  }}\n}}\n",
+         \"gauge_set_disabled\": {:.2},\n    \"gauge_set_enabled\": {:.2},\n    \
+         \"profile_op_disabled\": {:.2},\n    \"profile_op_enabled\": {:.2}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         off_med,
         on_med,
@@ -179,6 +214,8 @@ fn main() {
         hist_on_ns,
         gauge_off_ns,
         gauge_on_ns,
+        prof_off_ns,
+        prof_on_ns,
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
     match std::fs::write(&path, &json) {

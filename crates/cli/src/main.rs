@@ -45,6 +45,14 @@ SUBCOMMANDS:
 
 OBSERVABILITY OPTIONS (train/eval):
     --prof               print the per-phase epoch breakdown (Fig. 7)
+    --profile            per-operator profile: top-k table of self
+                         time, calls, achieved GFLOP/s, arithmetic
+                         intensity, and a roofline verdict (compute-
+                         vs bandwidth-bound vs data movement), plus
+                         per-phase attribution coverage
+    --profile-out <PATH> write the op profile as a tgl-profile/v1
+                         JSON artifact (implies --profile collection)
+    --profile-top <N>    rows in the --profile table (default 15)
     --trace-out <PATH>   write a Chrome trace-event JSON of all spans
                          (open in chrome://tracing or ui.perfetto.dev)
     --metrics-out <PATH> write a structured JSON run report (per-epoch
@@ -179,8 +187,13 @@ fn train(args: &Args, eval_only: bool) {
     let show_prof = args.has_flag("prof");
     let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
     let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
+    let profile_out = args.get("profile-out").map(std::path::PathBuf::from);
+    let profiling = args.has_flag("profile") || profile_out.is_some();
     if trace_out.is_some() {
         tglite::obs::trace::enable(true);
+    }
+    if profiling {
+        tgl_obs::profile::enable(true);
     }
     println!(
         "{} {} on {} ({} nodes, {} edges), {}",
@@ -239,7 +252,7 @@ fn train(args: &Args, eval_only: bool) {
 
     // A live metrics server implies reporting: /report.json serves the
     // reporter's in-progress publications.
-    let mut reporter = (show_prof || metrics_out.is_some() || serving.is_some()).then(|| {
+    let mut reporter = (show_prof || profiling || metrics_out.is_some() || serving.is_some()).then(|| {
         let mut rep = tgl_harness::RunReporter::start();
         rep.set_meta("model", mk.label());
         rep.set_meta("dataset", spec.kind.name());
@@ -291,6 +304,23 @@ fn train(args: &Args, eval_only: bool) {
         if let Some(path) = &metrics_out {
             report.save(path).expect("write run report");
             println!("run report written to {}", path.display());
+        }
+        if profiling {
+            tgl_obs::profile::enable(false);
+            let roof = tgl_harness::profrep::Roofline::detect();
+            let rows = tgl_harness::profrep::analyze(&report.profile, &roof);
+            print!(
+                "{}",
+                tgl_harness::profrep::render_table(&rows, &roof, args.get_or("profile-top", 15))
+            );
+            let coverage =
+                tgl_harness::profrep::phase_coverage(&report.profile, &report.phases_total_s);
+            print!("{}", tgl_harness::profrep::render_coverage(&coverage));
+            if let Some(path) = &profile_out {
+                std::fs::write(path, tgl_obs::profile::to_json(&report.profile))
+                    .expect("write op profile");
+                println!("op profile written to {}", path.display());
+            }
         }
     }
     if let Some(path) = &trace_out {
@@ -411,6 +441,11 @@ fn jsoncheck_cmd(args: &Args) {
         std::process::exit(1);
     });
     let rows = trend::compare(&old, &v);
+    // A renamed or dropped series is worth a look but not a failure —
+    // the regression budget only covers series both documents share.
+    for key in trend::missing_series(&old, &v) {
+        println!("trend: warning: series {key} missing from {path}");
+    }
     if rows.is_empty() {
         println!("trend: no wall-time series in common with {old_path}");
         return;

@@ -260,6 +260,39 @@ h_count 4
         assert!(validate("# TYPE g gauge\ng{kind=x} 1\n").is_err());
     }
 
+    /// Reads a golden fixture from the workspace `tests/fixtures/`
+    /// directory.
+    fn fixture(name: &str) -> String {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fixtures")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+    }
+
+    #[test]
+    fn golden_good_snapshot_passes() {
+        let s = validate(&fixture("promcheck_good.txt"))
+            .unwrap_or_else(|e| panic!("known-good snapshot rejected: {e}"));
+        assert_eq!(s.counters, 3);
+        assert_eq!(s.gauges, 2);
+        assert_eq!(s.histograms, 2);
+        assert_eq!(
+            s.histogram_names,
+            vec!["tgl_step_latency_ns", "tgl_gemm_latency_ns"]
+        );
+        // 3 counter + 2 gauge + (5+3) bucket + 2 sum + 2 count lines.
+        assert_eq!(s.samples, 17);
+    }
+
+    #[test]
+    fn golden_bad_snapshot_is_rejected() {
+        let err = validate(&fixture("promcheck_bad.txt"))
+            .expect_err("known-bad snapshot must fail validation");
+        assert!(err.contains("not cumulative"), "unexpected diagnostic: {err}");
+        assert!(err.contains("tgl_step_latency_ns"), "{err}");
+    }
+
     #[test]
     fn real_render_passes() {
         tgl_obs::counter!("promcheck.test.events").add(2);

@@ -107,6 +107,22 @@ pub fn worst_regression(rows: &[TrendRow]) -> f64 {
     rows.iter().map(|r| r.delta_pct).fold(0.0, f64::max)
 }
 
+/// Wall-time series present in `old` but absent from `new` — a renamed
+/// or dropped bench config. These degrade to a warning line rather
+/// than failing the check: the budget only applies to series both
+/// documents share.
+pub fn missing_series(old: &Json, new: &Json) -> Vec<String> {
+    let new_keys: std::collections::HashSet<String> = flatten_numeric(new)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    flatten_numeric(old)
+        .into_iter()
+        .filter(|(k, _)| is_wall_time_key(k) && !new_keys.contains(k))
+        .map(|(k, _)| k)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +173,16 @@ mod tests {
         let rows = compare(&old, &new);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].key, "secs");
+    }
+
+    #[test]
+    fn missing_series_are_reported_as_warnings() {
+        let old = parse(r#"{"secs": 2.0, "gone": {"wall_s": 1.0}, "iters": 5}"#);
+        let new = parse(r#"{"secs": 2.2}"#);
+        let missing = missing_series(&old, &new);
+        assert_eq!(missing, vec!["gone.wall_s".to_string()]);
+        // Non-wall-time keys never warn; nothing missing → no warnings.
+        assert!(missing_series(&new, &old).is_empty());
     }
 
     #[test]

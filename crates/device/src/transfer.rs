@@ -154,6 +154,7 @@ pub fn transfer(bytes: u64, kind: TransferKind) -> u64 {
     let model = *MODEL.read();
     COUNT.fetch_add(1, Ordering::Relaxed);
     tgl_obs::counter!("transfer.count").incr();
+    tgl_obs::profile::note_transfer(bytes);
     if kind.is_h2d() {
         H2D_BYTES.fetch_add(bytes, Ordering::Relaxed);
         tgl_obs::counter!("transfer.h2d_bytes").add(bytes);

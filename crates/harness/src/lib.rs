@@ -12,11 +12,16 @@
 //! * [`table`] — fixed-width text rendering for paper-style tables;
 //! * [`health`] — training-health monitor: NaN/Inf sentinels with a
 //!   configurable policy (`TGL_HEALTH=off|warn|fail`) and per-epoch
-//!   gradient-norm / update-ratio / loss-trend gauges.
+//!   gradient-norm / update-ratio / loss-trend gauges;
+//! * [`profrep`] — roofline-annotated rendering of the op-level
+//!   profiler (`tgl_obs::profile`): top-k table with achieved GFLOP/s
+//!   and compute- vs bandwidth-bound verdicts, plus per-phase
+//!   attribution coverage.
 
 pub mod health;
 pub mod logging;
 pub mod metrics;
+pub mod profrep;
 pub mod report;
 pub mod runner;
 pub mod table;

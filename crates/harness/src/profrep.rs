@@ -1,0 +1,376 @@
+//! Roofline-annotated op-profile reporting.
+//!
+//! Turns the raw per-operator totals collected by
+//! [`tgl_obs::profile`] into the `--profile` top-k table: each op's
+//! time share, achieved GFLOP/s, and arithmetic intensity are compared
+//! against a machine [`Roofline`] (GEMM peak from
+//! `BENCH_micro_gemm.json` plus a measured memory-bandwidth probe) to
+//! classify it as compute-bound, bandwidth-bound, or pure data
+//! movement. Also renders the per-phase coverage lines that check op
+//! self-times against the tracer's phase spans.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tgl_data::Json;
+use tgl_obs::profile::OpStat;
+
+use crate::table::TextTable;
+
+/// Peak GFLOP/s assumed when `BENCH_micro_gemm.json` is not found.
+const FALLBACK_PEAK_GFLOPS: f64 = 3.0;
+
+/// The two machine ceilings an op can hit: peak compute throughput and
+/// peak memory bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct Roofline {
+    /// Peak compute throughput (GFLOP/s), taken as the best measured
+    /// GEMM rate.
+    pub peak_gflops: f64,
+    /// Sustained memory bandwidth (GB/s).
+    pub bw_gbs: f64,
+    /// Where the peak came from: `"BENCH_micro_gemm.json"` or
+    /// `"fallback"`.
+    pub peak_source: &'static str,
+}
+
+impl Roofline {
+    /// Detects the machine roofline: GEMM peak from
+    /// `BENCH_micro_gemm.json` (searched upward from the working
+    /// directory) and memory bandwidth from [`memory_bandwidth_gbs`].
+    pub fn detect() -> Roofline {
+        let (peak_gflops, peak_source) = gemm_peak_gflops();
+        Roofline {
+            peak_gflops,
+            bw_gbs: memory_bandwidth_gbs(),
+            peak_source,
+        }
+    }
+
+    /// The ridge point: arithmetic intensity (FLOP/byte) above which
+    /// the compute ceiling binds before the bandwidth ceiling.
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_gflops / self.bw_gbs
+    }
+
+    /// Classifies an op from its totals: no FLOPs at all is pure data
+    /// movement; otherwise compare arithmetic intensity to the ridge.
+    pub fn verdict(&self, flops: u64, bytes: u64) -> &'static str {
+        if flops == 0 {
+            "data-move"
+        } else if bytes == 0 || (flops as f64 / bytes as f64) >= self.ridge_ai() {
+            "compute-bound"
+        } else {
+            "bandwidth-bound"
+        }
+    }
+}
+
+/// Searches the working directory and its ancestors for `name`.
+fn find_upwards(name: &str) -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join(name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Best measured GEMM rate from `BENCH_micro_gemm.json` (max over its
+/// `results[].gflops`), with a conservative fallback when the artifact
+/// is missing or unparsable.
+pub fn gemm_peak_gflops() -> (f64, &'static str) {
+    let parsed = find_upwards("BENCH_micro_gemm.json")
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|v| {
+            v.get("results")?
+                .as_arr()?
+                .iter()
+                .filter_map(|r| r.get("gflops")?.as_num())
+                .fold(None, |best: Option<f64>, g| {
+                    Some(best.map_or(g, |b| b.max(g)))
+                })
+        });
+    match parsed {
+        Some(peak) if peak > 0.0 => (peak, "BENCH_micro_gemm.json"),
+        _ => (FALLBACK_PEAK_GFLOPS, "fallback"),
+    }
+}
+
+/// Sustained memory bandwidth in GB/s, probed once per process with a
+/// large out-of-cache copy (read + write counted). Overridable via
+/// `TGL_MEM_BW_GBS` for reproducible reports.
+pub fn memory_bandwidth_gbs() -> f64 {
+    static BW: OnceLock<f64> = OnceLock::new();
+    *BW.get_or_init(|| {
+        if let Some(v) = std::env::var("TGL_MEM_BW_GBS")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|v| *v > 0.0)
+        {
+            return v;
+        }
+        probe_bandwidth_gbs()
+    })
+}
+
+fn probe_bandwidth_gbs() -> f64 {
+    // 8 Mi f32 = 32 MiB per buffer, far beyond typical LLC sizes, so
+    // the copy streams through memory. Best of three rounds.
+    const ELEMS: usize = 8 << 20;
+    let src = vec![1.0f32; ELEMS];
+    let mut dst = vec![0.0f32; ELEMS];
+    let bytes_moved = (2 * ELEMS * std::mem::size_of::<f32>()) as f64;
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        dst.copy_from_slice(&src);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&dst);
+        best = best.min(dt.max(1e-9));
+    }
+    bytes_moved / best / 1e9
+}
+
+/// One op with its roofline-derived metrics, ready for the table.
+#[derive(Debug, Clone)]
+pub struct OpRow {
+    /// The raw profiler totals.
+    pub stat: OpStat,
+    /// Fraction of total self time across all ops (0..=1).
+    pub share: f64,
+    /// Achieved GFLOP/s over self time.
+    pub gflops: f64,
+    /// Arithmetic intensity in FLOP/byte (0 when no bytes recorded).
+    pub ai: f64,
+    /// Roofline verdict: `compute-bound` / `bandwidth-bound` /
+    /// `data-move`.
+    pub verdict: &'static str,
+}
+
+/// Derives roofline metrics for every op, preserving the profiler's
+/// self-time-descending order.
+pub fn analyze(stats: &[OpStat], roof: &Roofline) -> Vec<OpRow> {
+    let total_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+    stats
+        .iter()
+        .map(|s| {
+            let secs = s.self_ns as f64 / 1e9;
+            let bytes = s.bytes_read + s.bytes_written;
+            OpRow {
+                share: if total_self == 0 {
+                    0.0
+                } else {
+                    s.self_ns as f64 / total_self as f64
+                },
+                gflops: if secs > 0.0 { s.flops as f64 / secs / 1e9 } else { 0.0 },
+                ai: if bytes > 0 { s.flops as f64 / bytes as f64 } else { 0.0 },
+                verdict: roof.verdict(s.flops, bytes),
+                stat: s.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the `--profile` report: roofline header plus a top-`k` op
+/// table sorted by self time.
+pub fn render_table(rows: &[OpRow], roof: &Roofline, top_k: usize) -> String {
+    let mut out = format!(
+        "op profile — roofline: peak {:.2} GFLOP/s ({}), mem {:.1} GB/s, ridge {:.3} FLOP/B\n",
+        roof.peak_gflops,
+        roof.peak_source,
+        roof.bw_gbs,
+        roof.ridge_ai()
+    );
+    let mut table = TextTable::new(&[
+        "op", "phase", "calls", "self_s", "share", "gflops", "ai", "verdict", "shape",
+    ]);
+    for row in rows.iter().take(top_k) {
+        table.row(&[
+            row.stat.op.to_string(),
+            row.stat.phase.to_string(),
+            row.stat.calls.to_string(),
+            format!("{:.4}", row.stat.self_ns as f64 / 1e9),
+            format!("{:.1}%", row.share * 100.0),
+            format!("{:.2}", row.gflops),
+            format!("{:.3}", row.ai),
+            row.verdict.to_string(),
+            row.stat.shape.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    if rows.len() > top_k {
+        out.push_str(&format!("... {} more ops\n", rows.len() - top_k));
+    }
+    out
+}
+
+/// One phase's attribution coverage: how much of the tracer's phase
+/// span is accounted for by op self time inside that phase.
+#[derive(Debug, Clone)]
+pub struct PhaseCoverage {
+    /// Phase name as pushed via `tgl_obs::span`.
+    pub phase: String,
+    /// Tracer phase-accumulator seconds.
+    pub phase_s: f64,
+    /// Sum of op self times attributed to this phase, in seconds.
+    pub ops_s: f64,
+}
+
+impl PhaseCoverage {
+    /// Attributed fraction (1.0 = ops fully explain the phase span).
+    pub fn fraction(&self) -> f64 {
+        if self.phase_s <= 0.0 {
+            0.0
+        } else {
+            self.ops_s / self.phase_s
+        }
+    }
+}
+
+/// Joins op self times against tracer phase seconds, one row per phase
+/// that appears in either source, ordered by descending phase seconds.
+pub fn phase_coverage(stats: &[OpStat], phases_s: &[(String, f64)]) -> Vec<PhaseCoverage> {
+    let mut rows: Vec<PhaseCoverage> = phases_s
+        .iter()
+        .map(|(name, secs)| PhaseCoverage {
+            phase: name.clone(),
+            phase_s: *secs,
+            // fold, not sum(): an empty f64 sum() yields -0.0, which
+            // renders as "-0.0000" for op-free phases.
+            ops_s: stats
+                .iter()
+                .filter(|s| s.phase == name)
+                .fold(0.0, |acc, s| acc + s.self_ns as f64 / 1e9),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.phase_s.total_cmp(&a.phase_s));
+    rows
+}
+
+/// Renders the per-phase coverage lines printed under the op table.
+pub fn render_coverage(rows: &[PhaseCoverage]) -> String {
+    let mut out = String::from("phase coverage (op self time / tracer phase span):\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<16} {:>9.4}s of {:>9.4}s  ({:>5.1}%)\n",
+            r.phase,
+            r.ops_s,
+            r.phase_s,
+            r.fraction() * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(op: &'static str, phase: &'static str, self_ns: u64, flops: u64, bytes: u64) -> OpStat {
+        OpStat {
+            op,
+            phase,
+            calls: 1,
+            self_ns,
+            total_ns: self_ns,
+            flops,
+            bytes_read: bytes / 2,
+            bytes_written: bytes - bytes / 2,
+            pool_hits: 0,
+            pool_misses: 0,
+            transfer_bytes: 0,
+            shape: "",
+        }
+    }
+
+    fn roof() -> Roofline {
+        Roofline {
+            peak_gflops: 4.0,
+            bw_gbs: 8.0,
+            peak_source: "fallback",
+        }
+    }
+
+    #[test]
+    fn verdicts_split_at_the_ridge() {
+        let r = roof();
+        // ridge = 0.5 FLOP/byte
+        assert_eq!(r.verdict(0, 1000), "data-move");
+        assert_eq!(r.verdict(1000, 1000), "compute-bound");
+        assert_eq!(r.verdict(100, 1000), "bandwidth-bound");
+        assert_eq!(r.verdict(1, 0), "compute-bound");
+    }
+
+    #[test]
+    fn analyze_computes_share_and_rates() {
+        let stats = vec![
+            stat("matmul", "attention", 3_000_000, 6_000_000, 1_000),
+            stat("add", "attention", 1_000_000, 1_000, 1_000_000),
+        ];
+        let rows = analyze(&stats, &roof());
+        assert!((rows[0].share - 0.75).abs() < 1e-9);
+        assert!((rows[1].share - 0.25).abs() < 1e-9);
+        // 6e6 FLOPs over 3 ms = 2 GFLOP/s.
+        assert!((rows[0].gflops - 2.0).abs() < 1e-9);
+        assert_eq!(rows[0].verdict, "compute-bound");
+        assert_eq!(rows[1].verdict, "bandwidth-bound");
+    }
+
+    #[test]
+    fn gemm_peak_reads_bench_artifact() {
+        // The workspace root holds BENCH_micro_gemm.json; tests run
+        // from the crate dir, so the upward search must find it.
+        let (peak, source) = gemm_peak_gflops();
+        assert_eq!(source, "BENCH_micro_gemm.json");
+        assert!(peak > 0.5 && peak < 10_000.0, "implausible peak {peak}");
+    }
+
+    #[test]
+    fn bandwidth_env_override_wins() {
+        // The probe itself is covered implicitly; the override keeps
+        // this test instant and deterministic.
+        std::env::set_var("TGL_MEM_BW_GBS", "12.5");
+        let bw = memory_bandwidth_gbs();
+        std::env::remove_var("TGL_MEM_BW_GBS");
+        assert!((bw - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_names_top_ops_and_roofline() {
+        let stats = vec![
+            stat("matmul", "attention", 3_000_000, 6_000_000, 1_000),
+            stat("add", "(no-phase)", 1_000_000, 1_000, 1_000_000),
+        ];
+        let r = roof();
+        let text = render_table(&analyze(&stats, &r), &r, 1);
+        assert!(text.contains("matmul"));
+        assert!(text.contains("ridge"));
+        assert!(text.contains("1 more ops"));
+        assert!(!text.contains("\nadd"), "beyond top-k must be elided");
+    }
+
+    #[test]
+    fn coverage_joins_ops_to_phases() {
+        let stats = vec![
+            stat("matmul", "attention", 800_000_000, 1, 1),
+            stat("add", "attention", 100_000_000, 1, 1),
+            stat("cat", "sample", 50_000_000, 0, 1),
+        ];
+        let phases = vec![("attention".to_string(), 1.0), ("sample".to_string(), 0.1)];
+        let rows = phase_coverage(&stats, &phases);
+        assert_eq!(rows[0].phase, "attention");
+        assert!((rows[0].ops_s - 0.9).abs() < 1e-9);
+        assert!((rows[0].fraction() - 0.9).abs() < 1e-9);
+        assert!((rows[1].ops_s - 0.05).abs() < 1e-9);
+        let text = render_coverage(&rows);
+        assert!(text.contains("attention") && text.contains("90.0%"));
+    }
+}

@@ -29,9 +29,18 @@
 //!   "gauges": {"health.grad_norm": 0.82, ...},
 //!   "health": {"policy": "warn", "status": "ok", "loss_trend": -0.12,
 //!              "dropped": 0, "events": [{"level": "warn",
-//!              "source": "trainer.loss", "message": "...", "seq": 3}]}
+//!              "source": "trainer.loss", "message": "...", "seq": 3}]},
+//!   "phases_total_s": {"sample": 1.21, "attention": 1.88, ...},
+//!   "profile": [{"op": "matmul", "phase": "attention", "calls": 96,
+//!                "self_ns": 1.2e9, "flops": 8.1e9, ...}, ...]
 //! }
 //! ```
+//!
+//! `phases_total_s` sums every epoch's phase drain plus the leftover
+//! captured at finish; `profile` holds the run's per-operator totals
+//! from [`tgl_obs::profile`] (empty when the op-level profiler was
+//! off) in the same row shape as the standalone `tgl-profile/v1`
+//! artifact.
 //!
 //! Per-epoch `counters`/`hists` are deltas over that epoch;
 //! `counters_total`/`histograms` hold the absolute values at finish.
@@ -41,9 +50,11 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::Duration;
 
 use tgl_data::Json;
 use tgl_obs::hist::HistSnapshot;
+use tgl_obs::profile::OpStat;
 use tglite::{obs, prof};
 
 use crate::{EpochStats, HealthPolicy};
@@ -107,6 +118,31 @@ pub struct RunReport {
     pub gauges: Vec<(String, f64)>,
     /// Training-health summary.
     pub health: HealthSection,
+    /// Whole-run phase seconds: every epoch's drain plus the leftover
+    /// captured at finish (test inference etc.), sorted by name.
+    pub phases_total_s: Vec<(String, f64)>,
+    /// Per-operator profiler totals for the run (empty unless
+    /// `tgl_obs::profile` was enabled), in self-time-descending order.
+    pub profile: Vec<OpStat>,
+}
+
+/// One profiled op as report JSON — the same row shape as the
+/// standalone `tgl-profile/v1` artifact.
+fn op_json(s: &OpStat) -> Json {
+    Json::obj(vec![
+        ("op".into(), Json::Str(s.op.into())),
+        ("phase".into(), Json::Str(s.phase.into())),
+        ("calls".into(), Json::Num(s.calls as f64)),
+        ("self_ns".into(), Json::Num(s.self_ns as f64)),
+        ("total_ns".into(), Json::Num(s.total_ns as f64)),
+        ("flops".into(), Json::Num(s.flops as f64)),
+        ("bytes_read".into(), Json::Num(s.bytes_read as f64)),
+        ("bytes_written".into(), Json::Num(s.bytes_written as f64)),
+        ("pool_hits".into(), Json::Num(s.pool_hits as f64)),
+        ("pool_misses".into(), Json::Num(s.pool_misses as f64)),
+        ("transfer_bytes".into(), Json::Num(s.transfer_bytes as f64)),
+        ("shape".into(), Json::Str(s.shape.into())),
+    ])
 }
 
 /// One histogram as report JSON: counts plus interpolated quantiles.
@@ -211,6 +247,19 @@ impl RunReport {
                 ),
             ),
             ("health".into(), health_json(&self.health)),
+            (
+                "phases_total_s".into(),
+                Json::Obj(
+                    self.phases_total_s
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "profile".into(),
+                Json::Arr(self.profile.iter().map(op_json).collect()),
+            ),
         ])
         .render()
     }
@@ -365,8 +414,24 @@ impl RunReporter {
     /// state, publishes the final report to the exposition endpoint,
     /// and returns it with final absolute counter/histogram values.
     pub fn finish(mut self, test_ap: f64, test_s: f64) -> RunReport {
-        prof::take();
+        // Phases accumulated since the last epoch drain (test
+        // inference, teardown) still belong to this run.
+        let leftover: Vec<(&'static str, Duration)> = prof::take();
         prof::enable(self.prof_was_enabled);
+        let mut phase_totals: HashMap<String, f64> = HashMap::new();
+        for e in &self.epochs {
+            for (n, s) in &e.phases_s {
+                *phase_totals.entry(n.clone()).or_default() += s;
+            }
+        }
+        for (n, d) in leftover {
+            *phase_totals.entry(n.to_string()).or_default() += d.as_secs_f64();
+        }
+        let mut phases_total_s: Vec<(String, f64)> = phase_totals.into_iter().collect();
+        phases_total_s.sort_by(|a, b| a.0.cmp(&b.0));
+        // Drain the op profiler's run-scoped totals (empty when the
+        // op-level profiler was never enabled).
+        let profile = tgl_obs::profile::take();
         let mut counters_total: Vec<(String, u64)> = obs::metrics::snapshot()
             .into_iter()
             .map(|(n, v)| (n.to_string(), v))
@@ -391,6 +456,8 @@ impl RunReporter {
                 .map(|(n, v)| (n.to_string(), v))
                 .collect(),
             health,
+            phases_total_s,
+            profile,
         };
         obs::expo::publish_report(report.to_json());
         report

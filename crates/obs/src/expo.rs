@@ -12,6 +12,9 @@
 //! * `GET /report.json` — the most recently [`publish_report`]ed run
 //!   report (the in-progress document while a run is live), `404`
 //!   before the first publish.
+//! * `GET /profile.json` — a live `tgl-profile/v1` snapshot of the
+//!   per-operator profiler (non-draining; empty `ops` array until
+//!   profiling is enabled and ops have run).
 //! * `GET /quit` — releases [`wait_for_quit`] so a driver script can
 //!   scrape a short-lived process deterministically and then let it
 //!   exit.
@@ -194,6 +197,10 @@ fn handle(mut stream: TcpStream) {
             let status = if ok { "200 OK" } else { "503 Service Unavailable" };
             respond(&mut stream, status, "application/json", &body);
         }
+        "/profile.json" | "/profile" => {
+            let body = crate::profile::to_json(&crate::profile::snapshot());
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
         "/report.json" | "/report" => match latest_report() {
             Some(json) => respond(&mut stream, "200 OK", "application/json", &json),
             None => respond(
@@ -211,7 +218,7 @@ fn handle(mut stream: TcpStream) {
             &mut stream,
             "200 OK",
             "text/plain",
-            "tgl metrics server: /metrics /healthz /report.json /quit\n",
+            "tgl metrics server: /metrics /healthz /report.json /profile.json /quit\n",
         ),
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
@@ -332,6 +339,10 @@ mod tests {
 
         let (code, _) = http_get(&addr, "/nope").expect("scrape 404");
         assert_eq!(code, 404);
+
+        let (code, body) = http_get(&addr, "/profile.json").expect("scrape profile");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-profile/v1\""));
 
         publish_report("{\"schema\":\"tgl-run-report/v2\"}".into());
         let (code, body) = http_get(&addr, "/report.json").expect("scrape report");

@@ -28,6 +28,13 @@
 //!   last-write-wins [`hist::Gauge`]s ([`gauge!`]), sharing the
 //!   counter enable gate.
 //!
+//! * [`profile`] — a per-operator profiler keyed by `(op, phase)`:
+//!   tensor-op dispatch sites open [`profile::op`] guards that record
+//!   self time, call counts, analytic FLOPs and bytes, input shapes,
+//!   and attributed pool/transfer activity, with span names (via
+//!   [`span`]) providing the phase scope. [`intern`] backs the
+//!   dynamically-composed names (e.g. `matmul[128x64,64x256]`).
+//!
 //! * [`health`] — a bounded sink of structured [`health::HealthEvent`]s
 //!   (NaN sentinels, divergence warnings) that subsystems record
 //!   instead of panicking.
@@ -59,8 +66,10 @@
 pub mod expo;
 pub mod health;
 pub mod hist;
+pub mod intern;
 pub mod metrics;
 pub mod phase;
+pub mod profile;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -72,9 +81,16 @@ use std::time::Instant;
 /// when both are disabled.
 pub fn span(name: &'static str) -> SpanGuard {
     let active = phase::enabled() || trace::enabled();
+    // While op profiling is on, spans double as the profiler's phase
+    // scope: ops record under the innermost enclosing span name.
+    let scoped = profile::enabled();
+    if scoped {
+        profile::push_phase(name);
+    }
     SpanGuard {
         name,
         start: active.then(Instant::now),
+        scoped,
     }
 }
 
@@ -83,10 +99,14 @@ pub fn span(name: &'static str) -> SpanGuard {
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    scoped: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.scoped {
+            profile::pop_phase();
+        }
         if let Some(start) = self.start {
             let dur = start.elapsed();
             if phase::enabled() {

@@ -41,6 +41,20 @@ pub struct Span {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Optional op-profiler enrichment rendered into the trace event's
+    /// `args` object.
+    pub args: Option<SpanArgs>,
+}
+
+/// Profiler enrichment attached to op spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanArgs {
+    /// Analytic floating-point operations of the op call.
+    pub flops: u64,
+    /// Analytic bytes moved (read + written).
+    pub bytes: u64,
+    /// Input-shape signature, e.g. `2x3,3x4` (may be empty).
+    pub shape: &'static str,
 }
 
 /// Turns span recording on or off. Enabling pins the trace epoch so
@@ -61,6 +75,12 @@ pub fn enabled() -> bool {
 /// go through `tgl_obs::span`, which checks [`enabled`] first; calling
 /// this directly records unconditionally.
 pub fn record(name: &'static str, start: Instant, dur: Duration) {
+    record_with(name, start, dur, None);
+}
+
+/// [`record`] with optional profiler enrichment. Dynamic names must be
+/// interned first (see [`crate::intern::intern`]).
+pub fn record_with(name: &'static str, start: Instant, dur: Duration, args: Option<SpanArgs>) {
     let tid = crate::thread_id();
     let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
     let span = Span {
@@ -68,6 +88,7 @@ pub fn record(name: &'static str, start: Instant, dur: Duration) {
         tid,
         start_ns,
         dur_ns: dur.as_nanos() as u64,
+        args,
     };
     let shard = tid as usize % SHARDS;
     SINK[shard]
@@ -95,11 +116,12 @@ pub fn to_chrome_json(spans: &[Span]) -> String {
         if i > 0 {
             out.push(',');
         }
-        // Phase names are static identifiers (no quotes/backslashes),
-        // so plain interpolation is JSON-safe here.
+        // Span names are identifiers plus shape signatures like
+        // `matmul[2x3,3x4]` — no quotes or backslashes — so plain
+        // interpolation is JSON-safe here.
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"cat\":\"tgl\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{}}}",
+            "{{\"name\":\"{}\",\"cat\":\"tgl\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{}",
             s.name,
             s.start_ns / 1_000,
             s.start_ns % 1_000,
@@ -107,6 +129,14 @@ pub fn to_chrome_json(spans: &[Span]) -> String {
             s.dur_ns % 1_000,
             s.tid
         );
+        if let Some(a) = &s.args {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"flops\":{},\"bytes\":{},\"shape\":\"{}\"}}",
+                a.flops, a.bytes, a.shape
+            );
+        }
+        out.push('}');
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -149,8 +179,8 @@ mod tests {
     #[test]
     fn chrome_json_shape() {
         let spans = vec![
-            Span { name: "alpha", tid: 0, start_ns: 1_500, dur_ns: 2_000_123 },
-            Span { name: "beta", tid: 3, start_ns: 10_000, dur_ns: 500 },
+            Span { name: "alpha", tid: 0, start_ns: 1_500, dur_ns: 2_000_123, args: None },
+            Span { name: "beta", tid: 3, start_ns: 10_000, dur_ns: 500, args: None },
         ];
         let json = to_chrome_json(&spans);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -160,6 +190,21 @@ mod tests {
         assert!(json.contains("\"dur\":2000.123"));
         assert!(json.contains("\"tid\":3"));
         assert!(json.ends_with("}"));
+        assert!(!json.contains("\"args\""));
+    }
+
+    #[test]
+    fn chrome_json_renders_op_args() {
+        let spans = vec![Span {
+            name: "matmul[2x3,3x4]",
+            tid: 1,
+            start_ns: 1_000,
+            dur_ns: 2_000,
+            args: Some(SpanArgs { flops: 48, bytes: 128, shape: "2x3,3x4" }),
+        }];
+        let json = to_chrome_json(&spans);
+        assert!(json.contains("\"name\":\"matmul[2x3,3x4]\""));
+        assert!(json.contains("\"args\":{\"flops\":48,\"bytes\":128,\"shape\":\"2x3,3x4\"}"));
     }
 
     #[test]

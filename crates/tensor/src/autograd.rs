@@ -19,6 +19,14 @@ pub(crate) struct Node {
     pub(crate) inputs: Vec<Tensor>,
     #[allow(clippy::type_complexity)]
     pub(crate) backward: Box<dyn Fn(&[f32]) -> Vec<Option<Vec<f32>>> + Send + Sync>,
+    /// Forward op that created this node (`"op"` when the profiler was
+    /// off at build time) plus the analytic cost of the backward pass,
+    /// both captured from the profiler frame via
+    /// [`tgl_obs::profile::node_info`].
+    pub(crate) op: &'static str,
+    pub(crate) bwd_flops: u64,
+    pub(crate) bwd_read: u64,
+    pub(crate) bwd_write: u64,
 }
 
 impl std::fmt::Debug for Node {
@@ -103,7 +111,15 @@ impl Tensor {
         while let Some((_, (tensor, grad))) = pending.pop_last() {
             match &tensor.inner.grad_fn {
                 Some(node) => {
-                    let input_grads = (node.backward)(&grad);
+                    let input_grads = {
+                        let _prof = tgl_obs::profile::op_backward(
+                            node.op,
+                            node.bwd_flops,
+                            node.bwd_read,
+                            node.bwd_write,
+                        );
+                        (node.backward)(&grad)
+                    };
                     assert_eq!(
                         input_grads.len(),
                         node.inputs.len(),

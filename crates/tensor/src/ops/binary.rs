@@ -77,8 +77,11 @@ fn broadcast_apply_general(a_dims: &[usize], b_dims: &[usize], mut f: impl FnMut
 }
 
 /// Applies `fwd` elementwise with NumPy broadcasting; `bwd(a, b, go)`
-/// returns `(d/da, d/db)` local gradients for one element.
+/// returns `(d/da, d/db)` local gradients for one element. `name` and
+/// `flops_per_elem` feed the op profiler.
 fn binary_elementwise(
+    name: &'static str,
+    flops_per_elem: u64,
     a: &Tensor,
     b: &Tensor,
     fwd: impl Fn(f32, f32) -> f32 + Sync,
@@ -89,6 +92,16 @@ fn binary_elementwise(
         .shape()
         .broadcast_with(b.shape())
         .unwrap_or_else(|| panic!("shapes {} and {} do not broadcast", a.shape(), b.shape()));
+
+    let n = out_shape.numel() as u64;
+    let (an, bn) = (a.numel() as u64, b.numel() as u64);
+    let _prof = tgl_obs::profile::op(name)
+        .flops(flops_per_elem * n)
+        .io(4 * (an + bn), 4 * n)
+        .shape(&[a.dims(), b.dims()])
+        // Backward produces one local gradient per input element from
+        // the upstream grad and both operands.
+        .backward_cost(2 * n, 4 * (an + bn + n), 4 * (an + bn));
 
     let a_data = a.inner.storage.read();
     let b_data = b.inner.storage.read();
@@ -165,22 +178,24 @@ impl Tensor {
     ///
     /// Panics if shapes do not broadcast or devices differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        binary_elementwise(self, other, |x, y| x + y, |_, _, g| (g, g))
+        binary_elementwise("add", 1, self, other, |x, y| x + y, |_, _, g| (g, g))
     }
 
     /// Elementwise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        binary_elementwise(self, other, |x, y| x - y, |_, _, g| (g, -g))
+        binary_elementwise("sub", 1, self, other, |x, y| x - y, |_, _, g| (g, -g))
     }
 
     /// Elementwise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        binary_elementwise(self, other, |x, y| x * y, |x, y, g| (g * y, g * x))
+        binary_elementwise("mul", 1, self, other, |x, y| x * y, |x, y, g| (g * y, g * x))
     }
 
     /// Elementwise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
         binary_elementwise(
+            "div",
+            1,
             self,
             other,
             |x, y| x / y,
@@ -192,6 +207,8 @@ impl Tensor {
     /// larger operand (ties favor `self`).
     pub fn maximum(&self, other: &Tensor) -> Tensor {
         binary_elementwise(
+            "maximum",
+            1,
             self,
             other,
             f32::max,

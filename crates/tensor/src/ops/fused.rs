@@ -43,6 +43,11 @@ impl Tensor {
             self.shape()
         );
 
+        let _prof = tgl_obs::profile::op("add_relu")
+            .flops(2 * n as u64)
+            .io(4 * (n + d) as u64, 8 * n as u64)
+            .shape(&[self.dims(), bias.dims()])
+            .backward_cost(2 * n as u64, 8 * n as u64, 4 * (n + d) as u64);
         let mut y = pool::take_uninit(n, device);
         {
             let a = self.inner.storage.read();
@@ -140,6 +145,11 @@ impl Tensor {
             other.shape()
         );
         let n = self.numel();
+        let _prof = tgl_obs::profile::op("scale_add")
+            .flops(2 * n as u64)
+            .io(8 * n as u64, 4 * n as u64)
+            .shape(&[self.dims(), other.dims()])
+            .backward_cost(n as u64, 4 * n as u64, 8 * n as u64);
         let mut y = pool::take_uninit(n, device);
         {
             let a = self.inner.storage.read();
@@ -188,6 +198,11 @@ impl Tensor {
             b.shape()
         );
         let n = self.numel();
+        let _prof = tgl_obs::profile::op("addcmul")
+            .flops(3 * n as u64)
+            .io(12 * n as u64, 4 * n as u64)
+            .shape(&[self.dims(), a.dims(), b.dims()])
+            .backward_cost(4 * n as u64, 12 * n as u64, 12 * n as u64);
         let mut y = pool::take_uninit(n, device);
         {
             let base = self.inner.storage.read();

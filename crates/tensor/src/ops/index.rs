@@ -17,6 +17,11 @@ impl Tensor {
         assert!(self.rank() >= 1, "index_select needs rank >= 1");
         let rows = self.dim(0);
         let row_len: usize = self.dims()[1..].iter().product();
+        let moved = 4 * (idx.len() * row_len) as u64;
+        let _prof = tgl_obs::profile::op("index_select")
+            .io(moved, moved)
+            .shape(&[self.dims(), &[idx.len()]])
+            .backward_cost((idx.len() * row_len) as u64, moved, 4 * self.numel() as u64);
         let data = self.inner.storage.read();
         let mut out = Vec::with_capacity(idx.len() * row_len);
         for &i in idx {
@@ -54,6 +59,9 @@ impl Tensor {
     /// Panics on row index out of bounds or row-length mismatch.
     pub fn rows_written(&self, rows: &[usize], src: &Tensor) -> Tensor {
         let row_len: usize = self.dims()[1..].iter().product();
+        let _prof = tgl_obs::profile::op("rows_written")
+            .io(4 * (self.numel() + src.numel()) as u64, 4 * self.numel() as u64)
+            .shape(&[self.dims(), src.dims()]);
         assert_eq!(
             src.numel(),
             rows.len() * row_len,
@@ -115,6 +123,12 @@ pub fn cat(tensors: &[Tensor], dim: usize) -> Tensor {
     let inner: usize = first.dims()[dim + 1..].iter().product();
     let cat_sizes: Vec<usize> = tensors.iter().map(|t| t.dim(dim)).collect();
     let total_cat: usize = cat_sizes.iter().sum();
+
+    let moved = 4 * (outer * total_cat * inner) as u64;
+    let _prof = tgl_obs::profile::op("cat")
+        .io(moved, moved)
+        .shape(&[first.dims(), &[tensors.len()]])
+        .backward_cost(0, moved, moved);
 
     let mut out_dims = first.dims().to_vec();
     out_dims[dim] = total_cat;

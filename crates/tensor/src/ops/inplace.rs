@@ -54,6 +54,8 @@ impl Tensor {
     /// Panics on length mismatch or if `self` has a backward node.
     pub fn add_(&self, other: &Tensor) -> &Tensor {
         self.assert_inplace_ok(other.numel(), "add_");
+        let n = self.numel() as u64;
+        let _prof = tgl_obs::profile::op("add_").flops(n).io(8 * n, 4 * n).shape(&[self.dims()]);
         if std::sync::Arc::ptr_eq(&self.inner.storage, &other.inner.storage) {
             let mut d = self.inner.storage.write();
             for v in d.iter_mut() {
@@ -76,6 +78,9 @@ impl Tensor {
     /// Panics if `self` has a backward node.
     pub fn mul_scalar_(&self, s: f32) -> &Tensor {
         self.assert_inplace_ok(self.numel(), "mul_scalar_");
+        let n = self.numel() as u64;
+        let _prof =
+            tgl_obs::profile::op("mul_scalar_").flops(n).io(4 * n, 4 * n).shape(&[self.dims()]);
         let mut d = self.inner.storage.write();
         for v in d.iter_mut() {
             *v *= s;
@@ -91,6 +96,9 @@ impl Tensor {
     /// Panics on length mismatch or if `self` has a backward node.
     pub fn add_scaled_(&self, other: &[f32], s: f32) -> &Tensor {
         self.assert_inplace_ok(other.len(), "add_scaled_");
+        let n = self.numel() as u64;
+        let _prof =
+            tgl_obs::profile::op("add_scaled_").flops(2 * n).io(8 * n, 4 * n).shape(&[self.dims()]);
         let mut d = self.inner.storage.write();
         for (a, b) in d.iter_mut().zip(other) {
             *a += s * b;
@@ -105,6 +113,9 @@ impl Tensor {
     /// Panics on length mismatch or if `self` has a backward node.
     pub fn addcmul_(&self, a: &[f32], b: &[f32], s: f32) -> &Tensor {
         self.assert_inplace_ok(a.len(), "addcmul_");
+        let n = self.numel() as u64;
+        let _prof =
+            tgl_obs::profile::op("addcmul_").flops(3 * n).io(12 * n, 4 * n).shape(&[self.dims()]);
         assert_eq!(a.len(), b.len(), "addcmul_ factor length mismatch");
         let mut d = self.inner.storage.write();
         for i in 0..d.len() {
@@ -125,6 +136,11 @@ impl Tensor {
     /// Panics on length mismatch or if any receiver has a backward node.
     pub fn adam_step_(&self, g: &[f32], m: &Tensor, v: &Tensor, s: AdamStep) -> &Tensor {
         self.assert_inplace_ok(g.len(), "adam_step_");
+        let n = self.numel() as u64;
+        // ~11 flops/elem: two moment EMAs, two bias corrections, sqrt,
+        // divide, and the parameter update.
+        let _prof =
+            tgl_obs::profile::op("adam_step_").flops(11 * n).io(16 * n, 12 * n).shape(&[self.dims()]);
         m.assert_inplace_ok(g.len(), "adam_step_ (m)");
         v.assert_inplace_ok(g.len(), "adam_step_ (v)");
         let mut md = m.inner.storage.write();

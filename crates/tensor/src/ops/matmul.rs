@@ -28,6 +28,16 @@ impl Tensor {
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", self.shape(), other.shape());
 
+        let _prof = tgl_obs::profile::op("matmul")
+            .flops(2 * (m * k * n) as u64)
+            .io(4 * (m * k + k * n) as u64, 4 * (m * n) as u64)
+            .shape(&[&[m, k], &[k, n]])
+            // Backward runs two GEMMs (dC·Bᵀ and Aᵀ·dC).
+            .backward_cost(
+                4 * (m * k * n) as u64,
+                4 * (m * n + m * k + k * n) as u64,
+                4 * (m * k + k * n) as u64,
+            );
         let mut c = pool::take_zeroed(m * n, device);
         {
             let a = self.inner.storage.read();
@@ -63,6 +73,15 @@ impl Tensor {
         assert_eq!(bs, bs2, "bmm batch dims differ");
         assert_eq!(k, k2, "bmm inner dims differ");
 
+        let _prof = tgl_obs::profile::op("bmm")
+            .flops(2 * (bs * m * k * n) as u64)
+            .io(4 * (bs * (m * k + k * n)) as u64, 4 * (bs * m * n) as u64)
+            .shape(&[&[bs, m, k], &[bs, k, n]])
+            .backward_cost(
+                4 * (bs * m * k * n) as u64,
+                4 * (bs * (m * n + m * k + k * n)) as u64,
+                4 * (bs * (m * k + k * n)) as u64,
+            );
         let mut c = pool::take_zeroed(bs * m * n, device);
         {
             let a = self.inner.storage.read();

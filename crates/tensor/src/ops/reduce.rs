@@ -33,6 +33,11 @@ fn sum_slice(data: &[f32]) -> f32 {
 impl Tensor {
     /// Sums all elements into a scalar tensor.
     pub fn sum_all(&self) -> Tensor {
+        let _prof = tgl_obs::profile::op("sum_all")
+            .flops(self.numel() as u64)
+            .io(4 * self.numel() as u64, 4)
+            .shape(&[self.dims()])
+            .backward_cost(0, 4, 4 * self.numel() as u64);
         let total: f32 = sum_slice(&self.inner.storage.read());
         let n = self.numel();
         let device = self.device();
@@ -103,6 +108,18 @@ impl Tensor {
 
     fn reduce_dim(&self, dim: usize, kind: ReduceKind) -> Tensor {
         assert!(dim < self.rank(), "reduce dim {dim} out of range for {}", self.shape());
+        let _prof = tgl_obs::profile::op(match kind {
+            ReduceKind::Sum => "sum_dim",
+            ReduceKind::Max => "max_dim",
+        })
+        .flops(self.numel() as u64)
+        .io(4 * self.numel() as u64, 4 * (self.numel() / self.dim(dim).max(1)) as u64)
+        .shape(&[self.dims()])
+        .backward_cost(
+            0,
+            4 * (self.numel() / self.dim(dim).max(1)) as u64,
+            4 * self.numel() as u64,
+        );
         let dims = self.dims();
         let outer: usize = dims[..dim].iter().product();
         let mid = dims[dim];

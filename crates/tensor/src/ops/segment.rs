@@ -94,6 +94,11 @@ fn check_segments(values: &Tensor, segments: &[usize], num_segments: usize) -> (
 /// ```
 pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let _prof = tgl_obs::profile::op("segment_sum")
+        .flops((n * d) as u64)
+        .io(4 * (n * d) as u64, 4 * (num_segments * d) as u64)
+        .shape(&[values.dims(), &[num_segments]])
+        .backward_cost(0, 4 * (num_segments * d) as u64, 4 * (n * d) as u64);
     let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
     // Accumulates with `+=` (and empty segments stay zero), so the
@@ -141,6 +146,11 @@ pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> 
 /// Averages rows of `values` per segment. Empty segments yield zeros.
 pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let _prof = tgl_obs::profile::op("segment_mean")
+        .flops(2 * (n * d) as u64)
+        .io(4 * (n * d) as u64, 4 * (num_segments * d) as u64)
+        .shape(&[values.dims(), &[num_segments]])
+        .backward_cost((n * d) as u64, 4 * (num_segments * d) as u64, 4 * (n * d) as u64);
     let mut counts = vec![0.0f32; num_segments];
     for &s in segments {
         counts[s] += 1.0;
@@ -194,6 +204,11 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
 /// to the (first) argmax row per segment/column.
 pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let _prof = tgl_obs::profile::op("segment_max")
+        .flops((n * d) as u64)
+        .io(4 * (n * d) as u64, 4 * (num_segments * d) as u64)
+        .shape(&[values.dims(), &[num_segments]])
+        .backward_cost(0, 4 * (num_segments * d) as u64, 4 * (n * d) as u64);
     let device = values.device();
     let mut out = pool::take_uninit(num_segments * d, device);
     out.fill(f32::NEG_INFINITY);
@@ -237,6 +252,11 @@ pub fn segment_max(values: &Tensor, segments: &[usize], num_segments: usize) -> 
 /// nothing; rows keep their position.
 pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize) -> Tensor {
     let (n, d) = check_segments(values, segments, num_segments);
+    let _prof = tgl_obs::profile::op("segment_softmax")
+        .flops(5 * (n * d) as u64)
+        .io(4 * (n * d) as u64, 8 * (n * d) as u64)
+        .shape(&[values.dims(), &[num_segments]])
+        .backward_cost(4 * (n * d) as u64, 8 * (n * d) as u64, 4 * (n * d) as u64);
     let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
     // Segments partition the rows, so every element is written below.

@@ -72,6 +72,11 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose requires rank-2, got {}", self.shape());
         let (m, n) = (self.dim(0), self.dim(1));
+        // Pure data movement: 0 FLOPs, one read + one write per element.
+        let _prof = tgl_obs::profile::op("transpose")
+            .io(4 * (m * n) as u64, 4 * (m * n) as u64)
+            .shape(&[self.dims()])
+            .backward_cost(0, 4 * (m * n) as u64, 4 * (m * n) as u64);
         let data = self.to_vec();
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {

@@ -22,6 +22,13 @@ impl Tensor {
         let cols = self.dim(self.rank() - 1);
         let rows = self.numel() / cols;
         let device = self.device();
+        let n = self.numel() as u64;
+        let _prof = tgl_obs::profile::op("softmax_last")
+            // max-subtract, exp, divide ≈ 5 flops/elem (exp dominates).
+            .flops(5 * n)
+            .io(4 * n, 8 * n)
+            .shape(&[self.dims()])
+            .backward_cost(4 * n, 8 * n, 4 * n);
         let x = self.inner.storage.read();
         // Fully overwritten row by row — recycled memory needs no zeroing.
         let mut y = pool::take_uninit(x.len(), device);

@@ -17,12 +17,20 @@ use crate::Tensor;
 /// copy, and the saved output copy is a [`PooledBuf`] recycled when the
 /// graph drops.
 fn unary_elementwise(
+    name: &'static str,
+    flops_per_elem: u64,
     input: &Tensor,
     fwd: impl Fn(f32) -> f32 + Sync,
     bwd: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
     let device = input.device();
     let n = input.numel();
+    let _prof = tgl_obs::profile::op(name)
+        .flops(flops_per_elem * n as u64)
+        // Forward reads x and writes both y and the saved copy.
+        .io(4 * n as u64, 8 * n as u64)
+        .shape(&[input.dims()])
+        .backward_cost(2 * n as u64, 12 * n as u64, 4 * n as u64);
     let mut y = pool::take_uninit(n, device);
     {
         let x = input.inner.storage.read();
@@ -69,38 +77,40 @@ fn unary_elementwise(
 impl Tensor {
     /// Elementwise negation.
     pub fn neg(&self) -> Tensor {
-        unary_elementwise(self, |x| -x, |_, _, g| -g)
+        unary_elementwise("neg", 1, self, |x| -x, |_, _, g| -g)
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
-        unary_elementwise(self, f32::exp, |_, y, g| g * y)
+        unary_elementwise("exp", 8, self, f32::exp, |_, y, g| g * y)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Tensor {
-        unary_elementwise(self, f32::ln, |x, _, g| g / x)
+        unary_elementwise("ln", 8, self, f32::ln, |x, _, g| g / x)
     }
 
     /// Elementwise cosine (the kernel of the paper's time-encoder
     /// `Φ(Δt) = cos(ω·Δt + φ)`).
     pub fn cos(&self) -> Tensor {
-        unary_elementwise(self, f32::cos, |x, _, g| -g * x.sin())
+        unary_elementwise("cos", 8, self, f32::cos, |x, _, g| -g * x.sin())
     }
 
     /// Elementwise sine.
     pub fn sin(&self) -> Tensor {
-        unary_elementwise(self, f32::sin, |x, _, g| g * x.cos())
+        unary_elementwise("sin", 8, self, f32::sin, |x, _, g| g * x.cos())
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        unary_elementwise(self, f32::sqrt, |_, y, g| g * 0.5 / y)
+        unary_elementwise("sqrt", 4, self, f32::sqrt, |_, y, g| g * 0.5 / y)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&self) -> Tensor {
         unary_elementwise(
+            "relu",
+            1,
             self,
             |x| x.max(0.0),
             |x, _, g| if x > 0.0 { g } else { 0.0 },
@@ -110,6 +120,8 @@ impl Tensor {
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
         unary_elementwise(
+            "sigmoid",
+            10,
             self,
             |x| 1.0 / (1.0 + (-x).exp()),
             |_, y, g| g * y * (1.0 - y),
@@ -118,23 +130,25 @@ impl Tensor {
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        unary_elementwise(self, f32::tanh, |_, y, g| g * (1.0 - y * y))
+        unary_elementwise("tanh", 10, self, f32::tanh, |_, y, g| g * (1.0 - y * y))
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        unary_elementwise(self, move |x| x + s, |_, _, g| g)
+        unary_elementwise("add_scalar", 1, self, move |x| x + s, |_, _, g| g)
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        unary_elementwise(self, move |x| x * s, move |_, _, g| g * s)
+        unary_elementwise("mul_scalar", 1, self, move |x| x * s, move |_, _, g| g * s)
     }
 
     /// Clamps every element to at least `min` (gradient is zero where
     /// clamped).
     pub fn clamp_min(&self, min: f32) -> Tensor {
         unary_elementwise(
+            "clamp_min",
+            1,
             self,
             move |x| x.max(min),
             move |x, _, g| if x > min { g } else { 0.0 },
@@ -150,6 +164,8 @@ impl Tensor {
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp range is empty: [{lo}, {hi}]");
         unary_elementwise(
+            "clamp",
+            2,
             self,
             move |x| x.clamp(lo, hi),
             move |x, _, g| if x > lo && x < hi { g } else { 0.0 },
@@ -159,6 +175,8 @@ impl Tensor {
     /// Elementwise absolute value (gradient at 0 is 0).
     pub fn abs(&self) -> Tensor {
         unary_elementwise(
+            "abs",
+            1,
             self,
             f32::abs,
             |x, _, g| if x > 0.0 { g } else if x < 0.0 { -g } else { 0.0 },
@@ -169,6 +187,8 @@ impl Tensor {
     /// domains; gradient `p·x^{p-1}`).
     pub fn pow_scalar(&self, p: f32) -> Tensor {
         unary_elementwise(
+            "pow_scalar",
+            15,
             self,
             move |x| x.powf(p),
             move |x, _, g| g * p * x.powf(p - 1.0),
@@ -178,6 +198,8 @@ impl Tensor {
     /// Leaky rectified linear unit with negative slope `alpha`.
     pub fn leaky_relu(&self, alpha: f32) -> Tensor {
         unary_elementwise(
+            "leaky_relu",
+            1,
             self,
             move |x| if x > 0.0 { x } else { alpha * x },
             move |x, _, g| if x > 0.0 { g } else { alpha * g },
@@ -187,6 +209,8 @@ impl Tensor {
     /// Softplus `ln(1 + e^x)`, the smooth ReLU (numerically stable).
     pub fn softplus(&self) -> Tensor {
         unary_elementwise(
+            "softplus",
+            15,
             self,
             |x| x.max(0.0) + (-(x.abs())).exp().ln_1p(),
             |x, _, g| g / (1.0 + (-x).exp()),
@@ -198,6 +222,8 @@ impl Tensor {
     pub fn gelu(&self) -> Tensor {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
         unary_elementwise(
+            "gelu",
+            20,
             self,
             |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
             |x, _, g| {

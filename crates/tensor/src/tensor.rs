@@ -167,9 +167,18 @@ impl Tensor {
         assert_eq!(data.len(), shape.numel(), "op produced wrong element count");
         let track = grad_enabled() && inputs.iter().any(|t| t.inner.requires_grad);
         let grad_fn = track.then(|| {
+            // The profiler's innermost frame (if any) names the op that
+            // is building this node and carries its declared backward
+            // cost; consuming it here keys the backward sweep's
+            // `{op}.bwd` attribution.
+            let (op, bwd_flops, bwd_read, bwd_write) = tgl_obs::profile::node_info();
             Arc::new(Node {
                 inputs: inputs.to_vec(),
                 backward: Box::new(backward),
+                op,
+                bwd_flops,
+                bwd_read,
+                bwd_write,
             })
         });
         Tensor {
@@ -429,6 +438,17 @@ impl Tensor {
             (Device::Accel, Device::Host) => TransferKind::AccelToHost,
             _ => unreachable!("same-device handled above"),
         };
+        let op_name = match kind {
+            TransferKind::HostToAccelPinned => "transfer.h2d_pinned",
+            TransferKind::HostToAccelPageable => "transfer.h2d",
+            TransferKind::AccelToHost => "transfer.d2h",
+        };
+        // Pure data movement: the staging copy reads and writes every
+        // byte once; the metered device transfer itself lands on this
+        // frame via `note_transfer` from tgl-device.
+        let _prof = tgl_obs::profile::op(op_name)
+            .io(bytes, bytes)
+            .shape(&[self.dims()]);
         let data = if let (Some(pool), true) = (pool, pinned) {
             // Stage through a reusable pinned buffer: copy into the
             // pinned buffer, transfer, then recycle it.

@@ -12,7 +12,9 @@
 //! build a `TGraph`, wrap a `TContext`, construct a model from the
 //! framework's composable pieces, and drive epochs with the harness.
 //! The observability flags mirror the `tgl` CLI: `--prof` prints the
-//! per-phase breakdown, `--trace-out` writes a Chrome trace (open in
+//! per-phase breakdown, `--profile` prints the per-operator roofline
+//! table (with `--profile-out <PATH>` writing the `tgl-profile/v1`
+//! JSON artifact), `--trace-out` writes a Chrome trace (open in
 //! chrome://tracing or ui.perfetto.dev), `--metrics-out` writes a
 //! structured JSON run report, `--serve-metrics <ADDR>` serves live
 //! `/metrics`, `/healthz`, and `/report.json` over HTTP while training
@@ -44,9 +46,14 @@ fn main() {
     let show_prof = arg_flag("--prof");
     let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
     let metrics_out = arg_value("--metrics-out").map(std::path::PathBuf::from);
+    let profile_out = arg_value("--profile-out").map(std::path::PathBuf::from);
+    let profiling = arg_flag("--profile") || profile_out.is_some();
     let host_resident = arg_flag("--move");
     if trace_out.is_some() {
         tglite::obs::trace::enable(true);
+    }
+    if profiling {
+        tglite::obs::profile::enable(true);
     }
     let serving = if let Some(addr) = arg_value("--serve-metrics") {
         let bound = tglite::obs::expo::start(&addr).expect("--serve-metrics bind");
@@ -124,7 +131,7 @@ fn main() {
         spec.n_src as u32,
         spec.num_nodes() as u32,
     );
-    let mut reporter = (show_prof || metrics_out.is_some() || serving.is_some()).then(|| {
+    let mut reporter = (show_prof || profiling || metrics_out.is_some() || serving.is_some()).then(|| {
         let mut rep = RunReporter::start();
         rep.set_meta("model", "TGAT");
         rep.set_meta("dataset", "Wiki");
@@ -163,6 +170,20 @@ fn main() {
         if let Some(path) = &metrics_out {
             report.save(path).expect("write run report");
             println!("run report written to {}", path.display());
+        }
+        if profiling {
+            tglite::obs::profile::enable(false);
+            let roof = tgl_harness::profrep::Roofline::detect();
+            let rows = tgl_harness::profrep::analyze(&report.profile, &roof);
+            print!("{}", tgl_harness::profrep::render_table(&rows, &roof, 15));
+            let coverage =
+                tgl_harness::profrep::phase_coverage(&report.profile, &report.phases_total_s);
+            print!("{}", tgl_harness::profrep::render_coverage(&coverage));
+            if let Some(path) = &profile_out {
+                std::fs::write(path, tglite::obs::profile::to_json(&report.profile))
+                    .expect("write op profile");
+                println!("op profile written to {}", path.display());
+            }
         }
     }
     if let Some(path) = &trace_out {

@@ -26,6 +26,23 @@ TGL_THREADS=2 cargo run --release --offline -q -p tgl-examples --bin quickstart 
 grep -Eq '"tensor\.pool\.hit": *[1-9]' "$OBS_DIR/report.json" \
     || { echo "run report shows no tensor pool hits"; exit 1; }
 
+echo "==> quickstart with op-level profiling (roofline table + artifact)"
+PROF_LOG="$OBS_DIR/profile.log"
+TGL_THREADS=2 ./target/release/quickstart \
+    --scale 8 --epochs 1 \
+    --profile --profile-out "$OBS_DIR/profile.json" >"$PROF_LOG" 2>&1 \
+    || { cat "$PROF_LOG"; exit 1; }
+./target/release/tgl jsoncheck "$OBS_DIR/profile.json"
+grep -q '"schema": "tgl-profile/v1"' "$OBS_DIR/profile.json" \
+    || { echo "profile artifact missing tgl-profile/v1 schema"; exit 1; }
+# The top-k table must attribute real GEMM work with a roofline verdict.
+grep -q "matmul" "$PROF_LOG" \
+    || { echo "profile table names no GEMM op"; cat "$PROF_LOG"; exit 1; }
+grep -Eq "compute-bound|bandwidth-bound" "$PROF_LOG" \
+    || { echo "profile table carries no roofline verdict"; cat "$PROF_LOG"; exit 1; }
+grep -q "phase coverage" "$PROF_LOG" \
+    || { echo "profile output missing phase coverage lines"; cat "$PROF_LOG"; exit 1; }
+
 echo "==> live /metrics exposition + scrape check"
 QS_LOG="$OBS_DIR/serve.log"
 TGL_THREADS=2 ./target/release/quickstart \
@@ -53,7 +70,7 @@ echo "==> allocation churn smoke (pool on vs off, bitwise loss guard)"
 cargo bench --offline -q -p tgl-bench --bench alloc_churn
 ./target/release/tgl jsoncheck BENCH_alloc.json
 
-echo "==> observability overhead guard (counters, histograms, gauges)"
+echo "==> observability overhead guard (counters, histograms, gauges, profiler sites)"
 cargo bench --offline -q -p tgl-bench --bench obs_overhead
 ./target/release/tgl jsoncheck BENCH_obs.json
 

@@ -1,0 +1,231 @@
+//! Acceptance suite for the op-level profiler (`tgl_obs::profile`):
+//! analytic GEMM FLOP counts must match 2·M·N·K exactly, the recorded
+//! call/FLOP/byte totals must be invariant to the worker-pool width
+//! (dispatch happens on the caller thread; only kernels fan out), a
+//! real training epoch's per-phase op self-times must stay within the
+//! tracer's phase spans, and the `tgl-profile/v1` artifact must parse
+//! and carry the expected rows.
+//!
+//! The profiler sink, phase stack, and thread pool are process-global,
+//! so every test holds the `serial()` lock and restores defaults.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tgl_data::{generate, DatasetKind, DatasetSpec, Json, Split};
+use tgl_harness::{RunReporter, TrainConfig, Trainer};
+use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgat};
+use tgl_runtime::set_threads;
+use tglite::obs::profile::{self, OpStat};
+use tglite::tensor::Tensor;
+
+/// Serializes tests: the profiler sink and pool width are global.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn gemm_flop_counts_match_analytic_2mnk() {
+    let _g = serial();
+    profile::enable(true);
+    profile::take();
+    let (m, k, n) = (8usize, 16usize, 12usize);
+    let a = Tensor::ones([m, k]).requires_grad(true);
+    let b = Tensor::ones([k, n]);
+    let c = a.matmul(&b);
+    c.sum_all().backward();
+    let stats = profile::take();
+    profile::enable(false);
+
+    let mm = stats
+        .iter()
+        .find(|s| s.op == "matmul")
+        .expect("matmul row recorded");
+    assert_eq!(mm.calls, 1);
+    assert_eq!(mm.flops, 2 * (m * k * n) as u64, "GEMM FLOPs must be 2MNK");
+    assert_eq!(mm.shape, "8x16,16x12");
+    assert_eq!(
+        mm.bytes_read,
+        4 * (m * k + k * n) as u64,
+        "GEMM reads both operands once"
+    );
+    assert_eq!(mm.bytes_written, 4 * (m * n) as u64);
+
+    // The backward node re-runs two GEMMs' worth of work; its declared
+    // cost flows through the autograd node into a `.bwd` row.
+    let bwd = stats
+        .iter()
+        .find(|s| s.op == "matmul.bwd")
+        .expect("backward sweep must attribute matmul's declared cost");
+    assert_eq!(bwd.calls, 1);
+    assert_eq!(bwd.flops, 4 * (m * k * n) as u64);
+}
+
+/// A deterministic mixed workload under two phase scopes.
+fn invariance_workload() {
+    let a = Tensor::ones([64, 32]);
+    let b = Tensor::ones([32, 48]);
+    for _ in 0..3 {
+        let c = {
+            let _s = tglite::prof::scope("prof-inv-mm");
+            a.matmul(&b)
+        };
+        let _d = {
+            let _s = tglite::prof::scope("prof-inv-ew");
+            c.relu().add(&c).sum_all()
+        };
+    }
+}
+
+#[test]
+fn call_and_flop_totals_are_thread_count_invariant() {
+    let _g = serial();
+    let before = tgl_runtime::current_threads();
+    // Work attribution (not timing) must be identical at any width.
+    let run_at = |threads: usize| -> Vec<(&'static str, &'static str, u64, u64, u64, u64)> {
+        set_threads(threads);
+        profile::enable(true);
+        profile::take();
+        invariance_workload();
+        let stats = profile::take();
+        profile::enable(false);
+        let mut keys: Vec<_> = stats
+            .iter()
+            .map(|s| (s.op, s.phase, s.calls, s.flops, s.bytes_read, s.bytes_written))
+            .collect();
+        keys.sort();
+        keys
+    };
+    let single = run_at(1);
+    let wide = run_at(4);
+    set_threads(before);
+    assert!(
+        single.iter().any(|(op, phase, ..)| *op == "matmul" && *phase == "prof-inv-mm"),
+        "workload must record a phase-scoped matmul: {single:?}"
+    );
+    assert_eq!(
+        single, wide,
+        "op/phase/calls/flops/bytes must not depend on pool width"
+    );
+}
+
+#[test]
+fn training_phase_op_self_times_stay_within_tracer_spans() {
+    let _g = serial();
+    profile::enable(true);
+    profile::take();
+    let mut rep = RunReporter::start();
+
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(10);
+    let (g, _) = generate(&spec);
+    let ctx = tglite::TContext::new(g.clone());
+    let mut model = Tgat::new(&ctx, ModelConfig::tiny(), OptFlags::all(), 42);
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+    let split = Split::standard(&g);
+    let trainer = Trainer::new(
+        TrainConfig { batch_size: 100, epochs: 1, lr: 1e-3, seed: 0 },
+        spec.n_src as u32,
+        spec.num_nodes() as u32,
+    );
+    let stats = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, 0);
+    rep.record_epoch(0, &stats);
+    let (test_ap, test_s) = trainer.evaluate(&mut model, &ctx, split.test.clone());
+    let report = rep.finish(test_ap, test_s);
+    profile::enable(false);
+
+    assert!(!report.profile.is_empty(), "profiled run recorded no ops");
+    // Ops attribute to the paper's Fig. 7 phases, and heavy tensor
+    // phases are actually covered by op self time.
+    let phase_ops = |phase: &str| -> f64 {
+        report
+            .profile
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.self_ns as f64 / 1e9)
+            .sum()
+    };
+    assert!(
+        phase_ops("attention") > 0.0,
+        "attention phase must contain op self time: {:?}",
+        report.profile.iter().map(|s| s.phase).collect::<Vec<_>>()
+    );
+    assert!(phase_ops("backward") > 0.0, "backward sweep must attribute ops");
+
+    // Self-time accounting never exceeds the tracer's phase spans: for
+    // every phase, op self time <= span time within 10% (plus a small
+    // absolute tolerance for sub-millisecond phases).
+    for (phase, span_s) in &report.phases_total_s {
+        let ops_s = phase_ops(phase);
+        assert!(
+            ops_s <= span_s * 1.10 + 2e-3,
+            "phase {phase:?}: op self time {ops_s:.4}s exceeds span {span_s:.4}s"
+        );
+    }
+}
+
+#[test]
+fn profile_artifact_is_valid_v1_json() {
+    let _g = serial();
+    profile::enable(true);
+    profile::take();
+    {
+        let _s = tglite::prof::scope("prof-json-phase");
+        let a = Tensor::ones([16, 16]);
+        let _ = a.matmul(&a);
+    }
+    let stats: Vec<OpStat> = profile::take();
+    profile::enable(false);
+
+    let text = profile::to_json(&stats);
+    let doc = Json::parse(&text).expect("tgl-profile artifact must parse");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("tgl-profile/v1"));
+    let ops = doc.get("ops").and_then(Json::as_arr).expect("ops array");
+    let mm = ops
+        .iter()
+        .find(|o| {
+            o.get("op").and_then(Json::as_str) == Some("matmul")
+                && o.get("phase").and_then(Json::as_str) == Some("prof-json-phase")
+        })
+        .expect("matmul row keyed by enclosing phase");
+    assert_eq!(
+        mm.get("flops").and_then(Json::as_num),
+        Some(2.0 * 16.0 * 16.0 * 16.0)
+    );
+    for field in [
+        "calls",
+        "self_ns",
+        "total_ns",
+        "bytes_read",
+        "bytes_written",
+        "pool_hits",
+        "pool_misses",
+        "transfer_bytes",
+    ] {
+        assert!(mm.get(field).and_then(Json::as_num).is_some(), "missing {field}");
+    }
+}
+
+#[test]
+fn live_endpoint_serves_profile_json() {
+    let _g = serial();
+    profile::enable(true);
+    profile::take();
+    let addr = tglite::obs::expo::start("127.0.0.1:0").expect("bind exposition server");
+    {
+        let _s = tglite::prof::scope("prof-live-phase");
+        let a = Tensor::ones([8, 8]);
+        let _ = a.matmul(&a);
+    }
+    let (code, body) =
+        tglite::obs::expo::http_get(&addr.to_string(), "/profile.json").expect("scrape");
+    tglite::obs::expo::http_get(&addr.to_string(), "/quit").ok();
+    profile::take();
+    profile::enable(false);
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("/profile.json must serve valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("tgl-profile/v1"));
+    assert!(
+        body.contains("\"matmul\""),
+        "snapshot endpoint must include the live matmul row"
+    );
+}
