@@ -144,45 +144,118 @@ struct GemmCell {
     m: usize,
     k: usize,
     n: usize,
+    kernel: &'static str,
     secs: f64,
     gflops: f64,
 }
 
-/// Times the cache-blocked GEMM on one thread over a size series that
-/// spans the L1/L2 tiling regimes and writes `BENCH_micro_gemm.json`.
+/// One measured cell of the GEMM thread scaling series (512^3).
+struct GemmThreadCell {
+    kernel: &'static str,
+    threads: usize,
+    secs: f64,
+    gflops: f64,
+}
+
+/// Times the cache-blocked GEMM over a size series that spans the
+/// L1/L2 tiling regimes plus attention-shaped skinny GEMMs
+/// (m = batch*heads, k = dim-per-head, small n = neighbor fan-out),
+/// in both kernel modes (`exact` keeps scalar bitwise parity, `fast`
+/// enables FMA contraction), then scales 512^3 over the pool's thread
+/// counts. Writes `BENCH_micro_gemm.json` at the workspace root.
 /// GFLOP/s uses the usual 2·m·k·n flop count for C += A·B.
-fn bench_gemm_series() {
-    const SIZES: [(usize, usize, usize); 6] = [
+fn bench_gemm_series(counts: &[usize]) {
+    const SIZES: [(usize, usize, usize); 9] = [
         (64, 64, 64),
         (128, 128, 128),
         (256, 256, 256),
         (512, 512, 512),
         (384, 768, 96),  // skinny output panel (embedding-sized)
         (96, 384, 768),  // wide output panel
+        (400, 16, 10),   // attention scores: (batch*heads) x dim_per_head x fanout
+        (400, 10, 16),   // attention output: (batch*heads) x fanout x dim_per_head
+        (800, 32, 16),   // wider heads, deeper fan-in
     ];
-    set_threads(1);
-    let mut rng = StdRng::seed_from_u64(3);
+    const MODES: [tgl_tensor::kernel::KernelMode; 2] =
+        [tgl_tensor::kernel::KernelMode::Exact, tgl_tensor::kernel::KernelMode::Fast];
+    let ambient_mode = tgl_tensor::kernel::mode();
     let mut cells = Vec::new();
-    println!();
-    println!("== single-thread GEMM series (blocked kernel) ==");
-    for (m, k, n) in SIZES {
-        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
-        let secs = time_it(|| a.matmul(&b), 0.4);
-        let gflops = 2.0 * (m * k * n) as f64 / secs / 1e9;
-        println!("  gemm_{m}x{k}x{n:<24} {:>12.1} us/iter  {gflops:>7.2} GFLOP/s", secs * 1e6);
-        cells.push(GemmCell { m, k, n, secs, gflops });
+    for mode in MODES {
+        tgl_tensor::kernel::set_mode(mode);
+        set_threads(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        println!();
+        println!("== single-thread GEMM series (blocked kernel, {} mode) ==", mode.label());
+        for (m, k, n) in SIZES {
+            let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+            let secs = time_it(|| a.matmul(&b), 0.4);
+            let gflops = 2.0 * (m * k * n) as f64 / secs / 1e9;
+            println!(
+                "  gemm_{m}x{k}x{n:<24} {:>12.1} us/iter  {gflops:>7.2} GFLOP/s",
+                secs * 1e6
+            );
+            cells.push(GemmCell { m, k, n, kernel: mode.label(), secs, gflops });
+        }
     }
-    let mut s = String::from("{\n  \"threads\": 1,\n  \"results\": [\n");
+
+    // Thread scaling of the MC-panel parallel GEMM at 512^3.
+    let mut tcells = Vec::new();
+    println!();
+    println!("== GEMM thread scaling (512^3, MC row panels) ==");
+    for mode in MODES {
+        tgl_tensor::kernel::set_mode(mode);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform([512, 512], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([512, 512], -1.0, 1.0, &mut rng);
+        for &t in counts {
+            set_threads(t);
+            let secs = time_it(|| a.matmul(&b), 0.4);
+            let gflops = 2.0 * (512usize * 512 * 512) as f64 / secs / 1e9;
+            println!(
+                "  gemm_512 {:<5} t={t:<2} {:>12.1} us/iter  {gflops:>7.2} GFLOP/s",
+                mode.label(),
+                secs * 1e6
+            );
+            tcells.push(GemmThreadCell { kernel: mode.label(), threads: t, secs, gflops });
+        }
+    }
+    tgl_tensor::kernel::set_mode(ambient_mode);
+    set_threads(1);
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!("  \"simd\": {:?},\n", tgl_tensor::kernel::simd_label()));
+    s.push_str("  \"threads\": 1,\n  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"secs\": {:.6e}, \"gflops\": {:.3}}}{}\n",
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"kernel\": {:?}, \"secs\": {:.6e}, \"gflops\": {:.3}}}{}\n",
             c.m,
             c.k,
             c.n,
+            c.kernel,
             c.secs,
             c.gflops,
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"multi_thread\": [\n");
+    let base = |kernel: &str| {
+        tcells
+            .iter()
+            .find(|c| c.kernel == kernel && c.threads == 1)
+            .map_or(f64::NAN, |c| c.secs)
+    };
+    for (i, c) in tcells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"m\": 512, \"k\": 512, \"n\": 512, \"kernel\": {:?}, \"threads\": {}, \"secs\": {:.6e}, \"gflops\": {:.3}, \"speedup_vs_1t\": {:.3}}}{}\n",
+            c.kernel,
+            c.threads,
+            c.secs,
+            c.gflops,
+            base(c.kernel) / c.secs,
+            if i + 1 == tcells.len() { "" } else { "," }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -283,13 +356,13 @@ fn main() {
     bench_transfers();
     bench_sampling_block_path();
     bench_matmul();
-    bench_gemm_series();
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let counts: Vec<usize> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&c| c == 1 || c <= host_cpus.max(4))
         .collect();
+    bench_gemm_series(&counts);
     println!();
     println!("== thread sweep ({host_cpus} host cpus) ==");
     let cells = thread_sweep(&counts);

@@ -67,6 +67,11 @@ OBSERVABILITY OPTIONS (train/eval):
                          (default), fail aborts, off disables checks
                          (also via TGL_HEALTH)
     --threads <N>        set the worker pool width (overrides TGL_THREADS)
+    --kernel <exact|fast>  tensor kernel contract (overrides TGL_KERNEL):
+                         exact = bitwise identical to the scalar
+                         reference on every host (default), fast =
+                         SIMD with FMA contraction and vectorized
+                         exp/reductions (tolerance-level differences)
 
 COMMON OPTIONS:
     --dataset <wiki|mooc|reddit|lastfm|wikitalk|gdelt>   (default wiki)
@@ -184,6 +189,15 @@ fn train(args: &Args, eval_only: bool) {
         });
         tgl_runtime::set_threads(n);
     }
+    if let Some(mode) = args.get("kernel") {
+        match tgl_tensor::kernel::parse(mode) {
+            Some(m) => tgl_tensor::kernel::set_mode(m),
+            None => {
+                eprintln!("--kernel: unknown mode {mode:?} (try exact/fast)");
+                std::process::exit(2);
+            }
+        }
+    }
     let show_prof = args.has_flag("prof");
     let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
     let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
@@ -265,6 +279,7 @@ fn train(args: &Args, eval_only: bool) {
         rep.set_meta_num("scale", args.get_or("scale", 2u64) as f64);
         rep.set_meta_num("batch", train_cfg.batch_size as f64);
         rep.set_meta_num("threads", tgl_runtime::current_threads() as f64);
+        rep.set_meta("kernel", tgl_tensor::kernel::mode().label());
         rep
     });
 

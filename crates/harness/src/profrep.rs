@@ -26,25 +26,34 @@ const FALLBACK_PEAK_GFLOPS: f64 = 3.0;
 #[derive(Debug, Clone, Copy)]
 pub struct Roofline {
     /// Peak compute throughput (GFLOP/s), taken as the best measured
-    /// GEMM rate.
+    /// GEMM rate for the active kernel mode and thread count.
     pub peak_gflops: f64,
     /// Sustained memory bandwidth (GB/s).
     pub bw_gbs: f64,
     /// Where the peak came from: `"BENCH_micro_gemm.json"` or
     /// `"fallback"`.
     pub peak_source: &'static str,
+    /// Pool thread count the peak was calibrated for.
+    pub threads: usize,
+    /// Kernel mode label (`exact` / `fast`) the peak was filtered by.
+    pub kernel: &'static str,
 }
 
 impl Roofline {
     /// Detects the machine roofline: GEMM peak from
     /// `BENCH_micro_gemm.json` (searched upward from the working
-    /// directory) and memory bandwidth from [`memory_bandwidth_gbs`].
+    /// directory, filtered to the active kernel mode and scaled to the
+    /// active pool thread count) and memory bandwidth from
+    /// [`memory_bandwidth_gbs`].
     pub fn detect() -> Roofline {
-        let (peak_gflops, peak_source) = gemm_peak_gflops();
+        let threads = tgl_runtime::current_threads();
+        let (peak_gflops, peak_source) = gemm_peak_gflops_at(threads);
         Roofline {
             peak_gflops,
             bw_gbs: memory_bandwidth_gbs(),
             peak_source,
+            threads,
+            kernel: tgl_tensor::kernel::mode().label(),
         }
     }
 
@@ -81,25 +90,93 @@ fn find_upwards(name: &str) -> Option<PathBuf> {
     }
 }
 
-/// Best measured GEMM rate from `BENCH_micro_gemm.json` (max over its
-/// `results[].gflops`), with a conservative fallback when the artifact
-/// is missing or unparsable.
+/// Whether a bench entry applies to the active kernel mode: entries
+/// carry a `"kernel"` tag since the SIMD split; untagged entries (old
+/// artifacts) stay candidates for every mode.
+fn kernel_matches(entry: &Json, label: &str) -> bool {
+    entry
+        .get("kernel")
+        .and_then(|k| k.as_str())
+        .is_none_or(|k| k == label)
+}
+
+/// Max `gflops` over mode-matching entries of a bench array.
+fn max_gflops(arr: &Json, label: &str, extra: impl Fn(&Json) -> bool) -> Option<f64> {
+    arr.as_arr()?
+        .iter()
+        .filter(|r| kernel_matches(r, label) && extra(r))
+        .filter_map(|r| r.get("gflops")?.as_num())
+        .fold(None, |best: Option<f64>, g| Some(best.map_or(g, |b| b.max(g))))
+}
+
+/// Best measured single-thread GEMM rate for the active kernel mode.
+/// Kept as the stable entry point; delegates to [`gemm_peak_gflops_at`].
 pub fn gemm_peak_gflops() -> (f64, &'static str) {
+    gemm_peak_gflops_at(1)
+}
+
+/// Best measured GEMM rate from `BENCH_micro_gemm.json` for the active
+/// kernel mode at the given pool thread count, with a conservative
+/// fallback when the artifact is missing or unparsable.
+///
+/// The single-thread peak is the max over the `results[]` series
+/// (filtered by `kernel` tag). For `threads > 1` the `multi_thread[]`
+/// sweep supplies a scale factor: the measured `speedup_vs_1t` at that
+/// thread count, or — when the report asks for a count beyond the
+/// sweep — a linear extrapolation from the largest swept count. The
+/// scale never drops below 1 so a poorly-scaling sweep cannot push the
+/// ceiling under the single-thread rate (which would make honest
+/// single-thread ops read as >100% of peak).
+pub fn gemm_peak_gflops_at(threads: usize) -> (f64, &'static str) {
+    let label = tgl_tensor::kernel::mode().label();
     let parsed = find_upwards("BENCH_micro_gemm.json")
         .and_then(|p| std::fs::read_to_string(p).ok())
         .and_then(|text| Json::parse(&text).ok())
         .and_then(|v| {
-            v.get("results")?
-                .as_arr()?
-                .iter()
-                .filter_map(|r| r.get("gflops")?.as_num())
-                .fold(None, |best: Option<f64>, g| {
-                    Some(best.map_or(g, |b| b.max(g)))
+            let base = max_gflops(v.get("results")?, label, |_| true)?;
+            if threads <= 1 {
+                return Some(base);
+            }
+            let scale = v
+                .get("multi_thread")
+                .and_then(|mt| {
+                    let arr = mt.as_arr()?;
+                    // Exact thread-count match first.
+                    let at = |t: usize| {
+                        arr.iter()
+                            .filter(|r| kernel_matches(r, label))
+                            .filter(|r| {
+                                r.get("threads").and_then(Json::as_num) == Some(t as f64)
+                            })
+                            .filter_map(|r| r.get("speedup_vs_1t")?.as_num())
+                            .fold(None, |best: Option<f64>, s| {
+                                Some(best.map_or(s, |b| b.max(s)))
+                            })
+                    };
+                    if let Some(s) = at(threads) {
+                        return Some(s);
+                    }
+                    // Beyond the sweep: linear extrapolation from the
+                    // largest swept count (ideal scaling of the tail,
+                    // a deliberate over-estimate of the ceiling).
+                    let swept_max = arr
+                        .iter()
+                        .filter(|r| kernel_matches(r, label))
+                        .filter_map(|r| r.get("threads")?.as_num())
+                        .fold(None, |best: Option<f64>, t| {
+                            Some(best.map_or(t, |b| b.max(t)))
+                        })?;
+                    let s = at(swept_max as usize)?;
+                    Some(s * threads as f64 / swept_max)
                 })
+                // No sweep recorded: assume ideal linear scaling so the
+                // ceiling stays an upper bound.
+                .unwrap_or(threads as f64);
+            Some(base * scale.max(1.0))
         });
     match parsed {
         Some(peak) if peak > 0.0 => (peak, "BENCH_micro_gemm.json"),
-        _ => (FALLBACK_PEAK_GFLOPS, "fallback"),
+        _ => (FALLBACK_PEAK_GFLOPS * threads.max(1) as f64, "fallback"),
     }
 }
 
@@ -182,9 +259,11 @@ pub fn analyze(stats: &[OpStat], roof: &Roofline) -> Vec<OpRow> {
 /// table sorted by self time.
 pub fn render_table(rows: &[OpRow], roof: &Roofline, top_k: usize) -> String {
     let mut out = format!(
-        "op profile — roofline: peak {:.2} GFLOP/s ({}), mem {:.1} GB/s, ridge {:.3} FLOP/B\n",
+        "op profile — roofline: peak {:.2} GFLOP/s ({}, kernel {}, {}t), mem {:.1} GB/s, ridge {:.3} FLOP/B\n",
         roof.peak_gflops,
         roof.peak_source,
+        roof.kernel,
+        roof.threads,
         roof.bw_gbs,
         roof.ridge_ai()
     );
@@ -192,13 +271,17 @@ pub fn render_table(rows: &[OpRow], roof: &Roofline, top_k: usize) -> String {
         "op", "phase", "calls", "self_s", "share", "gflops", "ai", "verdict", "shape",
     ]);
     for row in rows.iter().take(top_k) {
+        // An achieved rate above the calibrated ceiling means the
+        // roofline is stale (e.g. bench artifact from a pre-SIMD
+        // build); flag it rather than report >100% of peak silently.
+        let over_peak = row.gflops > roof.peak_gflops * 1.01;
         table.row(&[
             row.stat.op.to_string(),
             row.stat.phase.to_string(),
             row.stat.calls.to_string(),
             format!("{:.4}", row.stat.self_ns as f64 / 1e9),
             format!("{:.1}%", row.share * 100.0),
-            format!("{:.2}", row.gflops),
+            format!("{:.2}{}", row.gflops, if over_peak { " >peak!" } else { "" }),
             format!("{:.3}", row.ai),
             row.verdict.to_string(),
             row.stat.shape.to_string(),
@@ -296,6 +379,8 @@ mod tests {
             peak_gflops: 4.0,
             bw_gbs: 8.0,
             peak_source: "fallback",
+            threads: 1,
+            kernel: "exact",
         }
     }
 
@@ -331,6 +416,38 @@ mod tests {
         let (peak, source) = gemm_peak_gflops();
         assert_eq!(source, "BENCH_micro_gemm.json");
         assert!(peak > 0.5 && peak < 10_000.0, "implausible peak {peak}");
+    }
+
+    #[test]
+    fn multi_thread_peak_never_below_single_thread() {
+        // Whatever the artifact holds (tagged or untagged, with or
+        // without a multi_thread sweep), the scaled ceiling must not
+        // drop below the 1-thread peak: scale is clamped at >= 1.
+        let (p1, _) = gemm_peak_gflops_at(1);
+        let (p4, src) = gemm_peak_gflops_at(4);
+        assert_eq!(src, "BENCH_micro_gemm.json");
+        assert!(p4 >= p1, "peak at 4t ({p4}) below 1t ({p1})");
+    }
+
+    #[test]
+    fn kernel_tag_filter_accepts_untagged_entries() {
+        let entry = Json::parse(r#"{"gflops": 3.0}"#).unwrap();
+        assert!(kernel_matches(&entry, "exact"));
+        assert!(kernel_matches(&entry, "fast"));
+        let tagged = Json::parse(r#"{"kernel": "fast", "gflops": 30.0}"#).unwrap();
+        assert!(kernel_matches(&tagged, "fast"));
+        assert!(!kernel_matches(&tagged, "exact"));
+    }
+
+    #[test]
+    fn over_peak_rates_are_flagged_in_the_table() {
+        let stats = vec![stat("matmul", "attention", 1_000_000, 100_000_000, 1_000)];
+        let r = roof(); // peak 4.0; achieved 100 GFLOP/s
+        let text = render_table(&analyze(&stats, &r), &r, 5);
+        assert!(text.contains(">peak!"), "stale roofline must be flagged:\n{text}");
+        let calm = vec![stat("matmul", "attention", 1_000_000, 1_000_000, 1_000)];
+        let text = render_table(&analyze(&calm, &r), &r, 5);
+        assert!(!text.contains(">peak!"), "1 GFLOP/s under a 4.0 peak must not flag");
     }
 
     #[test]

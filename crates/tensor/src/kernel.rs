@@ -1,0 +1,598 @@
+//! Kernel execution contract: `exact` vs `fast`, plus SIMD dispatch.
+//!
+//! Every tensor kernel in this crate has a scalar reference
+//! implementation whose floating-point order defines the *exact*
+//! contract: results are bitwise identical across thread counts and
+//! across hosts. SIMD paths (x86-64 AVX2/FMA, runtime-detected) come in
+//! two flavors:
+//!
+//! * **Exact-safe SIMD** performs the *same* IEEE operations per output
+//!   element in the same order as the scalar kernel — lane-wise
+//!   `mul`/`add`/`div`/`sqrt`/`max` over independent output elements.
+//!   These run in both modes and stay bitwise identical to the scalar
+//!   reference.
+//! * **Fast-only SIMD** reassociates (horizontal reductions, wider
+//!   partial-sum fans) or contracts multiply-adds into FMAs, or swaps
+//!   libm `exp` for a vectorized polynomial. These change low-order
+//!   bits and run only under [`KernelMode::Fast`], with tolerances
+//!   documented in `DESIGN.md` ("Kernel contract") and enforced by the
+//!   parity suite.
+//!
+//! Both modes remain **thread-count invariant**: reduction orders are a
+//! function of the problem shape only, never of which thread ran a
+//! chunk. What `fast` gives up is bitwise equality with the scalar
+//! reference (and therefore with non-AVX2 hosts).
+//!
+//! The mode defaults to `exact`, is initialized from the `TGL_KERNEL`
+//! environment variable, and can be overridden at runtime with
+//! [`set_mode`] (the `--kernel` CLI flag). SIMD can be forced off with
+//! `TGL_SIMD=off` or [`set_simd`] — the parity suite uses this to
+//! compare scalar and SIMD outputs in-process.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which floating-point contract kernels honor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Bitwise identical to the scalar reference kernels, on every
+    /// host, at every thread count. The default.
+    Exact,
+    /// FMA contraction, wider reduction fans, and polynomial `exp`
+    /// allowed; results carry documented tolerances but are still
+    /// thread-count invariant.
+    Fast,
+}
+
+impl KernelMode {
+    /// Stable lowercase name (`exact` / `fast`) used by the CLI, the
+    /// bench artifacts, and run-report metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Exact => "exact",
+            KernelMode::Fast => "fast",
+        }
+    }
+}
+
+/// Parses a mode name as accepted by `--kernel` and `TGL_KERNEL`.
+pub fn parse(s: &str) -> Option<KernelMode> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "exact" => Some(KernelMode::Exact),
+        "fast" => Some(KernelMode::Fast),
+        _ => None,
+    }
+}
+
+/// 0 = uninitialized, 1 = exact, 2 = fast.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The active kernel mode (initialized from `TGL_KERNEL` on first use;
+/// unknown values fall back to `exact` with a warning).
+pub fn mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Exact,
+        2 => KernelMode::Fast,
+        _ => {
+            let m = match std::env::var("TGL_KERNEL") {
+                Ok(v) => parse(&v).unwrap_or_else(|| {
+                    eprintln!("TGL_KERNEL={v:?} not recognized (try exact/fast); using exact");
+                    KernelMode::Exact
+                }),
+                Err(_) => KernelMode::Exact,
+            };
+            // Racing initializers read the same environment.
+            set_mode(m);
+            m
+        }
+    }
+}
+
+/// Overrides the kernel mode for subsequent kernel invocations.
+pub fn set_mode(m: KernelMode) {
+    MODE.store(
+        match m {
+            KernelMode::Exact => 1,
+            KernelMode::Fast => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// True when fast-only SIMD paths may run.
+pub fn fast() -> bool {
+    mode() == KernelMode::Fast
+}
+
+/// 0 = uninitialized, 1 = scalar, 2 = avx2+fma.
+static SIMD: AtomicU8 = AtomicU8::new(0);
+
+fn detect_simd() -> u8 {
+    if matches!(
+        std::env::var("TGL_SIMD").as_deref(),
+        Ok("off") | Ok("0") | Ok("scalar")
+    ) {
+        return 1;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return 2;
+        }
+    }
+    1
+}
+
+/// Whether the AVX2/FMA kernel paths are active on this host.
+pub fn avx2() -> bool {
+    match SIMD.load(Ordering::Relaxed) {
+        0 => {
+            let level = detect_simd();
+            SIMD.store(level, Ordering::Relaxed);
+            level == 2
+        }
+        level => level == 2,
+    }
+}
+
+/// Forces SIMD dispatch off (`false`) or re-detects it (`true`). The
+/// scalar-vs-SIMD parity suite flips this to produce both outputs in
+/// one process; production code never needs it.
+pub fn set_simd(enabled: bool) {
+    SIMD.store(if enabled { detect_simd() } else { 1 }, Ordering::Relaxed);
+}
+
+/// Human-readable SIMD level for bench artifacts and reports.
+pub fn simd_label() -> &'static str {
+    if avx2() {
+        "avx2-fma"
+    } else {
+        "scalar"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared AVX2 primitives
+// ---------------------------------------------------------------------
+//
+// The `*_avx2` functions are `#[target_feature]`-gated and unsafe to
+// call; the safe `*_dispatch` wrappers check [`avx2`] and fall back to
+// the scalar loop. Exact-safe primitives (`add_assign`, `add_div`, the
+// non-FMA `axpy`) perform identical lane-wise IEEE arithmetic to their
+// scalar fallbacks and may run in either mode; `FMA=true` instantiations
+// and the reduction/exp helpers are fast-only.
+
+/// `y[i] += x[i]` — exact-safe in both modes.
+pub(crate) fn add_assign_dispatch(y: &mut [f32], x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: avx2() verified the CPU supports AVX2+FMA.
+        unsafe { add_assign_avx2(y, x) };
+        return;
+    }
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+/// `y[i] += x[i] / d` — exact-safe (lane-wise IEEE div then add, the
+/// same two roundings as the scalar loop).
+pub(crate) fn add_div_dispatch(y: &mut [f32], x: &[f32], d: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: avx2() verified the CPU supports AVX2+FMA.
+        unsafe { add_div_avx2(y, x, d) };
+        return;
+    }
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += b / d;
+    }
+}
+
+/// `y[i] += a * x[i]`. With `fma=false` this is exact-safe (lane-wise
+/// mul then add); with `fma=true` the multiply-add contracts, which is
+/// fast-only.
+pub(crate) fn axpy_dispatch(y: &mut [f32], x: &[f32], a: f32, fma: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: avx2() verified the CPU supports AVX2+FMA.
+        unsafe {
+            if fma {
+                axpy_avx2::<true>(y, x, a);
+            } else {
+                axpy_avx2::<false>(y, x, a);
+            }
+        }
+        return;
+    }
+    let _ = fma; // scalar fallback has nothing to contract
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// `y[i] *= s` — exact-safe (one lane-wise IEEE multiply).
+pub(crate) fn scale_dispatch(y: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: avx2() verified the CPU supports AVX2+FMA.
+        unsafe { scale_avx2(y, s) };
+        return;
+    }
+    for v in y.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// `y[i] += s * a[i] * b[i]` with the scalar's left-associated product
+/// order. With `fma=false` exact-safe; with `fma=true` the final
+/// multiply-add contracts (fast-only).
+pub(crate) fn addcmul_dispatch(y: &mut [f32], a: &[f32], b: &[f32], s: f32, fma: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2() {
+        // SAFETY: avx2() verified the CPU supports AVX2+FMA.
+        unsafe {
+            if fma {
+                addcmul_avx2::<true>(y, a, b, s);
+            } else {
+                addcmul_avx2::<false>(y, a, b, s);
+            }
+        }
+        return;
+    }
+    let _ = fma;
+    for i in 0..y.len() {
+        y[i] += s * a[i] * b[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    //! Raw AVX2/FMA building blocks shared by the op kernels.
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of all 8 lanes (fast-only: reassociates).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 support (checked by [`super::avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Horizontal max of all 8 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 support (checked by [`super::avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hmax(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Vectorized `exp` (Cephes-style degree-5 polynomial over the
+    /// range-reduced argument, then exponent reassembly). Accurate to a
+    /// few ulp over the clamped range; fast-only.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA support (checked by [`super::avx2`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn exp256(x: __m256) -> __m256 {
+        // Clamp: below -87.3 the result underflows toward zero (we
+        // return exactly 2^-126-ish, close enough for softmax weights);
+        // above 88.7 it would overflow to inf.
+        let x = _mm256_min_ps(x, _mm256_set1_ps(88.376_26));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(-87.336_54));
+        // n = round(x / ln 2)
+        let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+        let n = _mm256_round_ps(
+            _mm256_mul_ps(x, log2e),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+        );
+        // r = x - n·ln2 in two pieces for extra bits.
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(0.693_359_4), x);
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(-2.121_944_4e-4), r);
+        // exp(r) ≈ 1 + r + r²·p(r)
+        let mut p = _mm256_set1_ps(1.987_569_1e-4);
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.398_199_9e-3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.333_452e-3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.166_579_6e-2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.666_666_6e-1));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0e-1));
+        let r2 = _mm256_mul_ps(r, r);
+        let y = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, _mm256_set1_ps(1.0)));
+        // Scale by 2^n through the exponent field.
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(0x7f)),
+            23,
+        ));
+        _mm256_mul_ps(y, pow2n)
+    }
+
+    /// 8-lane FMA dot product with horizontal sum (fast-only): the
+    /// reduction fan depends only on `a.len()`, so it is thread-count
+    /// invariant but not bitwise equal to the scalar 4-lane reference.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA support (checked by [`super::avx2`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for q in 0..chunks {
+            let av = _mm256_loadu_ps(a.as_ptr().add(q * 8));
+            let bv = _mm256_loadu_ps(b.as_ptr().add(q * 8));
+            acc = _mm256_fmadd_ps(av, bv, acc);
+        }
+        let mut tail = 0.0f32;
+        for p in chunks * 8..n {
+            tail += a.get_unchecked(p) * b.get_unchecked(p);
+        }
+        hsum(acc) + tail
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn add_assign_avx2(y: &mut [f32], x: &[f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let chunks = n / 8;
+    for q in 0..chunks {
+        let p = q * 8;
+        let v = _mm256_add_ps(
+            _mm256_loadu_ps(y.as_ptr().add(p)),
+            _mm256_loadu_ps(x.as_ptr().add(p)),
+        );
+        _mm256_storeu_ps(y.as_mut_ptr().add(p), v);
+    }
+    for p in chunks * 8..n {
+        *y.get_unchecked_mut(p) += x.get_unchecked(p);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn add_div_avx2(y: &mut [f32], x: &[f32], d: f32) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let chunks = n / 8;
+    let dv = _mm256_set1_ps(d);
+    for q in 0..chunks {
+        let p = q * 8;
+        let v = _mm256_add_ps(
+            _mm256_loadu_ps(y.as_ptr().add(p)),
+            _mm256_div_ps(_mm256_loadu_ps(x.as_ptr().add(p)), dv),
+        );
+        _mm256_storeu_ps(y.as_mut_ptr().add(p), v);
+    }
+    for p in chunks * 8..n {
+        *y.get_unchecked_mut(p) += x.get_unchecked(p) / d;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn scale_avx2(y: &mut [f32], s: f32) {
+    use std::arch::x86_64::*;
+    let n = y.len();
+    let chunks = n / 8;
+    let sv = _mm256_set1_ps(s);
+    for q in 0..chunks {
+        let p = q * 8;
+        let v = _mm256_mul_ps(_mm256_loadu_ps(y.as_ptr().add(p)), sv);
+        _mm256_storeu_ps(y.as_mut_ptr().add(p), v);
+    }
+    for p in chunks * 8..n {
+        *y.get_unchecked_mut(p) *= s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn addcmul_avx2<const FMA: bool>(y: &mut [f32], a: &[f32], b: &[f32], s: f32) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() >= y.len() && b.len() >= y.len());
+    let n = y.len();
+    let chunks = n / 8;
+    let sv = _mm256_set1_ps(s);
+    for q in 0..chunks {
+        let p = q * 8;
+        // (s * a) * b, left-associated like the scalar loop.
+        let sa = _mm256_mul_ps(sv, _mm256_loadu_ps(a.as_ptr().add(p)));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(p));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(p));
+        let v = if FMA {
+            _mm256_fmadd_ps(sa, bv, yv)
+        } else {
+            _mm256_add_ps(yv, _mm256_mul_ps(sa, bv))
+        };
+        _mm256_storeu_ps(y.as_mut_ptr().add(p), v);
+    }
+    // Tail rounding must match the vector body per element: if a
+    // caller ever hands this a chunk of a range-partitioned buffer,
+    // tail membership depends on the split, and a body/tail rounding
+    // difference would break thread-count invariance in fast mode.
+    for p in chunks * 8..n {
+        let t = s * a.get_unchecked(p);
+        *y.get_unchecked_mut(p) = if FMA {
+            t.mul_add(*b.get_unchecked(p), *y.get_unchecked(p))
+        } else {
+            *y.get_unchecked(p) + t * b.get_unchecked(p)
+        };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2<const FMA: bool>(y: &mut [f32], x: &[f32], a: f32) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let chunks = n / 8;
+    let av = _mm256_set1_ps(a);
+    for q in 0..chunks {
+        let p = q * 8;
+        let xv = _mm256_loadu_ps(x.as_ptr().add(p));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(p));
+        let v = if FMA {
+            _mm256_fmadd_ps(av, xv, yv)
+        } else {
+            _mm256_add_ps(yv, _mm256_mul_ps(av, xv))
+        };
+        _mm256_storeu_ps(y.as_mut_ptr().add(p), v);
+    }
+    // Same body/tail rounding rule as `addcmul_avx2`.
+    for p in chunks * 8..n {
+        *y.get_unchecked_mut(p) = if FMA {
+            a.mul_add(*x.get_unchecked(p), *y.get_unchecked(p))
+        } else {
+            *y.get_unchecked(p) + a * x.get_unchecked(p)
+        };
+    }
+}
+
+/// Serializes tests (crate-wide) that flip or depend on the global
+/// mode/SIMD switches.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::test_serial as serial;
+
+    #[test]
+    fn mode_parse_round_trips() {
+        assert_eq!(parse("exact"), Some(KernelMode::Exact));
+        assert_eq!(parse("FAST"), Some(KernelMode::Fast));
+        assert_eq!(parse(" fast "), Some(KernelMode::Fast));
+        assert_eq!(parse("loose"), None);
+        assert_eq!(KernelMode::Exact.label(), "exact");
+        assert_eq!(KernelMode::Fast.label(), "fast");
+    }
+
+    #[test]
+    fn set_mode_overrides() {
+        let _guard = serial();
+        let before = mode();
+        set_mode(KernelMode::Fast);
+        assert!(fast());
+        set_mode(KernelMode::Exact);
+        assert!(!fast());
+        set_mode(before);
+    }
+
+    #[test]
+    fn simd_force_off_and_redetect() {
+        let _guard = serial();
+        set_simd(false);
+        assert!(!avx2());
+        assert_eq!(simd_label(), "scalar");
+        set_simd(true);
+        // Whatever the host supports, the label is consistent with it.
+        assert_eq!(simd_label(), if avx2() { "avx2-fma" } else { "scalar" });
+    }
+
+    #[test]
+    fn exact_safe_primitives_match_scalar_bitwise() {
+        let _guard = serial();
+        let mk = |salt: u32| -> Vec<f32> {
+            (0..37u32)
+                .map(|i| ((i * 31 + salt) % 97) as f32 * 0.037 - 1.5)
+                .collect()
+        };
+        for enabled in [false, true] {
+            set_simd(enabled);
+            let x = mk(5);
+            let mut add = mk(9);
+            add_assign_dispatch(&mut add, &x);
+            let mut div = mk(9);
+            add_div_dispatch(&mut div, &x, 3.0);
+            let mut ax = mk(9);
+            axpy_dispatch(&mut ax, &x, -0.75, false);
+            let mut sc = mk(9);
+            scale_dispatch(&mut sc, 1.25);
+            let z = mk(13);
+            let mut acm = mk(9);
+            addcmul_dispatch(&mut acm, &x, &z, 0.5, false);
+            let want_add: Vec<f32> = mk(9).iter().zip(&x).map(|(a, b)| a + b).collect();
+            let want_div: Vec<f32> = mk(9).iter().zip(&x).map(|(a, b)| a + b / 3.0).collect();
+            let want_ax: Vec<f32> = mk(9).iter().zip(&x).map(|(a, b)| a + -0.75 * b).collect();
+            let want_sc: Vec<f32> = mk(9).iter().map(|a| a * 1.25).collect();
+            let want_acm: Vec<f32> = mk(9)
+                .iter()
+                .zip(x.iter().zip(&z))
+                .map(|(a, (b, c))| a + 0.5 * b * c)
+                .collect();
+            assert_eq!(add, want_add, "add_assign simd={enabled}");
+            assert_eq!(div, want_div, "add_div simd={enabled}");
+            assert_eq!(ax, want_ax, "axpy simd={enabled}");
+            assert_eq!(sc, want_sc, "scale simd={enabled}");
+            assert_eq!(acm, want_acm, "addcmul simd={enabled}");
+        }
+        set_simd(true);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn exp256_close_to_libm() {
+        let _guard = serial();
+        if !avx2() {
+            return;
+        }
+        let xs: Vec<f32> = (-80..=8).map(|i| i as f32 * 1.09).collect();
+        for chunk in xs.chunks(8) {
+            let mut buf = [0.0f32; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            let mut out = [0.0f32; 8];
+            unsafe {
+                let v = x86::exp256(std::arch::x86_64::_mm256_loadu_ps(buf.as_ptr()));
+                std::arch::x86_64::_mm256_storeu_ps(out.as_mut_ptr(), v);
+            }
+            for (i, &x) in chunk.iter().enumerate() {
+                let want = x.exp();
+                let got = out[i];
+                let rel = if want > 1e-30 { (got - want).abs() / want } else { (got - want).abs() };
+                assert!(rel < 1e-5, "exp({x}) = {got}, want {want} (rel {rel})");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dot_fast_close_to_scalar() {
+        let _guard = serial();
+        if !avx2() {
+            return;
+        }
+        let a: Vec<f32> = (0..531).map(|i| ((i * 37) % 101) as f32 * 0.02 - 1.0).collect();
+        let b: Vec<f32> = (0..531).map(|i| ((i * 53) % 97) as f32 * 0.02 - 1.0).collect();
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64) * (*y as f64)).sum();
+        let got = unsafe { x86::dot_fast(&a, &b) };
+        assert!(
+            (got as f64 - want).abs() < 1e-3 * want.abs().max(1.0),
+            "dot {got} vs {want}"
+        );
+    }
+}

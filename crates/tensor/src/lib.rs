@@ -32,6 +32,7 @@
 
 mod autograd;
 mod init;
+pub mod kernel;
 mod loss;
 pub mod nn;
 pub mod ops;

@@ -14,9 +14,188 @@
 
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
+use crate::kernel;
 use crate::ops::{rows_threshold, same_device, ELEMWISE_SEQ};
 use crate::pool::{self, PooledBuf};
 use crate::Tensor;
+
+/// `out[i] = max(a[i] + b[i], 0)` — exact-safe: lane-wise add then
+/// `maxps`, whose NaN/zero behavior matches `f32::max(x, 0.0)` here.
+fn add_relu_fwd(out: &mut [f32], a: &[f32], b: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel::avx2() {
+        // SAFETY: avx2() verified CPU support.
+        unsafe { add_relu_fwd_avx2(out, a, b) };
+        return;
+    }
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = (x + y).max(0.0);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn add_relu_fwd_avx2(out: &mut [f32], a: &[f32], b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    let zero = _mm256_setzero_ps();
+    for q in 0..chunks {
+        let p = q * 8;
+        let v = _mm256_max_ps(
+            _mm256_add_ps(_mm256_loadu_ps(a.as_ptr().add(p)), _mm256_loadu_ps(b.as_ptr().add(p))),
+            zero,
+        );
+        _mm256_storeu_ps(out.as_mut_ptr().add(p), v);
+    }
+    for p in chunks * 8..n {
+        *out.get_unchecked_mut(p) = (a.get_unchecked(p) + b.get_unchecked(p)).max(0.0);
+    }
+}
+
+/// `out[i] = if y[i] > 0 { go[i] } else { 0.0 }` — exact-safe: the
+/// compare mask passes `go`'s bits through unchanged.
+fn relu_mask_bwd(out: &mut [f32], go: &[f32], y: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel::avx2() {
+        // SAFETY: avx2() verified CPU support.
+        unsafe { relu_mask_bwd_avx2(out, go, y) };
+        return;
+    }
+    for ((o, &g), &v) in out.iter_mut().zip(go).zip(y) {
+        *o = if v > 0.0 { g } else { 0.0 };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn relu_mask_bwd_avx2(out: &mut [f32], go: &[f32], y: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    let zero = _mm256_setzero_ps();
+    for q in 0..chunks {
+        let p = q * 8;
+        let mask = _mm256_cmp_ps(_mm256_loadu_ps(y.as_ptr().add(p)), zero, _CMP_GT_OQ);
+        let v = _mm256_and_ps(_mm256_loadu_ps(go.as_ptr().add(p)), mask);
+        _mm256_storeu_ps(out.as_mut_ptr().add(p), v);
+    }
+    for p in chunks * 8..n {
+        *out.get_unchecked_mut(p) =
+            if *y.get_unchecked(p) > 0.0 { *go.get_unchecked(p) } else { 0.0 };
+    }
+}
+
+/// `out[i] = a[i] * s + b[i]`. Exact-safe with `fma=false` (lane-wise
+/// mul then add); contracted in fast mode.
+fn scale_add_fwd(out: &mut [f32], a: &[f32], b: &[f32], s: f32, fma: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel::avx2() {
+        // SAFETY: avx2() verified CPU support.
+        unsafe {
+            if fma {
+                scale_add_fwd_avx2::<true>(out, a, b, s);
+            } else {
+                scale_add_fwd_avx2::<false>(out, a, b, s);
+            }
+        }
+        return;
+    }
+    let _ = fma;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * s + y;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn scale_add_fwd_avx2<const FMA: bool>(out: &mut [f32], a: &[f32], b: &[f32], s: f32) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    let sv = _mm256_set1_ps(s);
+    for q in 0..chunks {
+        let p = q * 8;
+        let av = _mm256_loadu_ps(a.as_ptr().add(p));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(p));
+        let v = if FMA {
+            _mm256_fmadd_ps(av, sv, bv)
+        } else {
+            _mm256_add_ps(_mm256_mul_ps(av, sv), bv)
+        };
+        _mm256_storeu_ps(out.as_mut_ptr().add(p), v);
+    }
+    // The tail must round exactly like the vector body: this helper
+    // runs per parallel_for range, so tail membership depends on the
+    // chunk split — if tail and body arithmetic differed, results
+    // would vary with the thread count. `mul_add` is the correctly
+    // rounded fused op, bit-identical to a vfmadd lane.
+    for p in chunks * 8..n {
+        *out.get_unchecked_mut(p) = if FMA {
+            a.get_unchecked(p).mul_add(s, *b.get_unchecked(p))
+        } else {
+            a.get_unchecked(p) * s + b.get_unchecked(p)
+        };
+    }
+}
+
+/// `out[i] = base[i] + s * a[i] * b[i]` with the scalar's left-assoc
+/// product. Exact-safe with `fma=false`; final add contracts in fast.
+fn addcmul_fwd(out: &mut [f32], base: &[f32], a: &[f32], b: &[f32], s: f32, fma: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if kernel::avx2() {
+        // SAFETY: avx2() verified CPU support.
+        unsafe {
+            if fma {
+                addcmul_fwd_avx2::<true>(out, base, a, b, s);
+            } else {
+                addcmul_fwd_avx2::<false>(out, base, a, b, s);
+            }
+        }
+        return;
+    }
+    let _ = fma;
+    for k in 0..out.len() {
+        out[k] = base[k] + s * a[k] * b[k];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn addcmul_fwd_avx2<const FMA: bool>(
+    out: &mut [f32],
+    base: &[f32],
+    a: &[f32],
+    b: &[f32],
+    s: f32,
+) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    let sv = _mm256_set1_ps(s);
+    for q in 0..chunks {
+        let p = q * 8;
+        let sa = _mm256_mul_ps(sv, _mm256_loadu_ps(a.as_ptr().add(p)));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(p));
+        let basev = _mm256_loadu_ps(base.as_ptr().add(p));
+        let v = if FMA {
+            _mm256_fmadd_ps(sa, bv, basev)
+        } else {
+            _mm256_add_ps(basev, _mm256_mul_ps(sa, bv))
+        };
+        _mm256_storeu_ps(out.as_mut_ptr().add(p), v);
+    }
+    // Same thread-invariance requirement as `scale_add_fwd_avx2`: the
+    // tail's rounding must match the vector body's because the chunk
+    // split decides which elements land in the tail.
+    for p in chunks * 8..n {
+        *out.get_unchecked_mut(p) = if FMA {
+            (s * a.get_unchecked(p)).mul_add(*b.get_unchecked(p), *base.get_unchecked(p))
+        } else {
+            base.get_unchecked(p) + s * a.get_unchecked(p) * b.get_unchecked(p)
+        };
+    }
+}
 
 impl Tensor {
     /// Fused `relu(self + bias)`.
@@ -58,10 +237,10 @@ impl Tensor {
                 // SAFETY: chunks partition the element space.
                 let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
                 if same {
-                    for (k, i) in r.enumerate() {
-                        out[k] = (a[i] + b[i]).max(0.0);
-                    }
+                    add_relu_fwd(out, &a[r.start..r.end], &b[r.start..r.end]);
                 } else {
+                    // Broadcast stays scalar: the `i % d` gather has no
+                    // contiguous lanes to load.
                     for (k, i) in r.enumerate() {
                         out[k] = (a[i] + b[i % d]).max(0.0);
                     }
@@ -90,9 +269,7 @@ impl Tensor {
                     parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
                         // SAFETY: chunks partition the element space.
                         let out = unsafe { ga_sl.slice_mut(r.start, r.len()) };
-                        for (k, i) in r.enumerate() {
-                            out[k] = if y[i] > 0.0 { go[i] } else { 0.0 };
-                        }
+                        relu_mask_bwd(out, &go[r.start..r.end], &y[r.start..r.end]);
                     });
                 }
                 let gb = if same {
@@ -156,12 +333,11 @@ impl Tensor {
             let b = other.inner.storage.read();
             let y_sl = UnsafeSlice::new(&mut y);
             let (a, b) = (&a, &b);
+            let fma = kernel::fast();
             parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
                 // SAFETY: chunks partition the element space.
                 let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
-                for (k, i) in r.enumerate() {
-                    out[k] = a[i] * s + b[i];
-                }
+                scale_add_fwd(out, &a[r.start..r.end], &b[r.start..r.end], s, fma);
             });
         }
         Tensor::make_result(
@@ -210,12 +386,18 @@ impl Tensor {
             let bd = b.inner.storage.read();
             let y_sl = UnsafeSlice::new(&mut y);
             let (base, ad, bd) = (&base, &ad, &bd);
+            let fma = kernel::fast();
             parallel_for(n, ELEMWISE_SEQ, |r: std::ops::Range<usize>| {
                 // SAFETY: chunks partition the element space.
                 let out = unsafe { y_sl.slice_mut(r.start, r.len()) };
-                for (k, i) in r.enumerate() {
-                    out[k] = base[i] + scale * ad[i] * bd[i];
-                }
+                addcmul_fwd(
+                    out,
+                    &base[r.start..r.end],
+                    &ad[r.start..r.end],
+                    &bd[r.start..r.end],
+                    scale,
+                    fma,
+                );
             });
         }
         let (a_c, b_c) = (a.clone(), b.clone());

@@ -1,11 +1,19 @@
-//! Cache-blocked GEMM micro-kernels.
+//! Cache-blocked GEMM micro-kernels with AVX2/FMA register tiles.
 //!
 //! The three 2-D kernels (`nn`, `nt`, `tn`) keep the contract from the
 //! naive kernels they replace: output rows are partitioned across the
-//! `tgl-runtime` pool, and **every output element accumulates its
-//! products in ascending reduction-index order** regardless of
-//! blocking, so results are bitwise identical to the unblocked kernels
-//! and invariant across thread counts.
+//! `tgl-runtime` pool in *fixed* [`MC`]-row panels (boundaries a
+//! function of the problem shape only), and in `exact` kernel mode
+//! **every output element accumulates its products in ascending
+//! reduction-index order with the same IEEE roundings as the scalar
+//! reference**, so results are bitwise identical to the unblocked
+//! kernels on every host and invariant across thread counts. The AVX2
+//! tile kernel honors that in exact mode by using lane-wise
+//! `mul`+`add` (one rounding each, per element, in k order — the same
+//! arithmetic the scalar loop performs); in `fast` mode it contracts to
+//! FMA and `mm_nt` switches to an 8-lane reduction fan, trading bitwise
+//! reproducibility vs the scalar reference for throughput (see
+//! `DESIGN.md` "Kernel contract").
 //!
 //! What blocking changes is the *memory* schedule:
 //!
@@ -13,8 +21,9 @@
 //!   B rows into [`NR`]-wide column panels (one pooled scratch buffer
 //!   per row chunk). A panel tile (`KC × NR × 4 B` = 8 KiB) stays
 //!   L1-resident while a [`MR`]`×`[`NR`] register tile of C accumulates
-//!   across it, and the packed block is reused by every output row of
-//!   the chunk instead of streaming all of B once per row.
+//!   across it ([`NR`] = one `__m256` per row on AVX2 hosts), and the
+//!   packed block is reused by every output row of the chunk instead of
+//!   streaming all of B once per row.
 //! * `mm_nt` needs no packing (both operands are traversed row-major);
 //!   it blocks [`MR`] output rows so each B row load is shared by four
 //!   concurrent dot products.
@@ -28,18 +37,20 @@
 //! nonzero count.
 
 use tgl_device::Device;
-use tgl_runtime::{parallel_for, UnsafeSlice};
+use tgl_runtime::{parallel_for, parallel_for_chunks, UnsafeSlice};
 
+use crate::kernel;
 use crate::pool;
 
 /// Rows of A per register tile.
 pub(crate) const MR: usize = 4;
-/// Columns of B per packed panel (32 B = half a cache line of `f32`s;
-/// `MR × NR` = 32 accumulators fit the x86-64 SSE register file).
+/// Columns of B per packed panel (one `__m256` of `f32`s; `MR × NR`
+/// accumulators fit the 16-register AVX ymm file with room for the A
+/// broadcast and B panel load).
 pub(crate) const NR: usize = 8;
 /// K-depth of a packed B block.
 pub(crate) const KC: usize = 256;
-/// M-depth of a packed A block in the `tn` kernel.
+/// M-depth of a parallel row panel (`nn`) / packed A block (`tn`).
 pub(crate) const MC: usize = 64;
 
 /// Multiply-add count below which a matmul runs inline on the caller;
@@ -76,6 +87,169 @@ pub(crate) fn mostly_zero(x: &[f32]) -> bool {
     zeros * 2 > total
 }
 
+// ---------------------------------------------------------------------
+// Register-tile kernels
+// ---------------------------------------------------------------------
+
+/// AVX2 `MR×NR` tile update: `acc[r] += sum_kk ar[r][kk] * pan[kk]`.
+///
+/// With `FMA = false` each lane performs mul-then-add — the identical
+/// two IEEE roundings, per element, in the same k order as the scalar
+/// tile, so the result is bitwise equal to it. With `FMA = true` the
+/// multiply-add contracts to one rounding (fast mode only).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA (checked by `kernel::avx2()`); `pan` must hold at
+/// least `kc * NR` elements and each `ar[r]` at least `kc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_avx2<const FMA: bool>(
+    ar: &[&[f32]; MR],
+    pan: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(pan.len() >= kc * NR);
+    let mut v = [
+        _mm256_loadu_ps(acc[0].as_ptr()),
+        _mm256_loadu_ps(acc[1].as_ptr()),
+        _mm256_loadu_ps(acc[2].as_ptr()),
+        _mm256_loadu_ps(acc[3].as_ptr()),
+    ];
+    for kk in 0..kc {
+        let pb = _mm256_loadu_ps(pan.as_ptr().add(kk * NR));
+        for (vr, a_row) in v.iter_mut().zip(ar) {
+            let av = _mm256_set1_ps(*a_row.get_unchecked(kk));
+            *vr = if FMA {
+                _mm256_fmadd_ps(av, pb, *vr)
+            } else {
+                _mm256_add_ps(*vr, _mm256_mul_ps(av, pb))
+            };
+        }
+    }
+    for (row, vr) in acc.iter_mut().zip(v) {
+        _mm256_storeu_ps(row.as_mut_ptr(), vr);
+    }
+}
+
+/// AVX2 single-row tile update for partial (`ih < MR`) row blocks.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; `pan` must hold at least `arow.len() * NR`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn row_avx2<const FMA: bool>(arow: &[f32], pan: &[f32], acc: &mut [f32; NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(pan.len() >= arow.len() * NR);
+    let mut v = _mm256_loadu_ps(acc.as_ptr());
+    for (kk, &av) in arow.iter().enumerate() {
+        let pb = _mm256_loadu_ps(pan.as_ptr().add(kk * NR));
+        let a = _mm256_set1_ps(av);
+        v = if FMA {
+            _mm256_fmadd_ps(a, pb, v)
+        } else {
+            _mm256_add_ps(v, _mm256_mul_ps(a, pb))
+        };
+    }
+    _mm256_storeu_ps(acc.as_mut_ptr(), v);
+}
+
+/// Full-tile update with SIMD dispatch and the scalar reference as the
+/// fallback (and the exact-mode ground truth).
+fn tile_update(
+    ar: &[&[f32]; MR],
+    pan: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; MR],
+    simd: bool,
+    fma: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` comes from `kernel::avx2()`; panel/segment
+        // lengths are established by the packing loop.
+        unsafe {
+            if fma {
+                tile_avx2::<true>(ar, pan, kc, acc);
+            } else {
+                tile_avx2::<false>(ar, pan, kc, acc);
+            }
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (simd, fma);
+    for kk in 0..kc {
+        let pb = &pan[kk * NR..(kk + 1) * NR];
+        for (row, a_row) in acc.iter_mut().zip(ar) {
+            let av = a_row[kk];
+            for (o, &bv) in row.iter_mut().zip(pb) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Single-row update used for the `ih < MR` remainder rows.
+fn row_update(arow: &[f32], pan: &[f32], acc: &mut [f32; NR], simd: bool, fma: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` comes from `kernel::avx2()`.
+        unsafe {
+            if fma {
+                row_avx2::<true>(arow, pan, acc);
+            } else {
+                row_avx2::<false>(arow, pan, acc);
+            }
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (simd, fma);
+    for (kk, &av) in arow.iter().enumerate() {
+        let pb = &pan[kk * NR..(kk + 1) * NR];
+        for (o, &bv) in acc.iter_mut().zip(pb) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// One dot product under the kernel contract: exact mode keeps the
+/// scalar 4-lane partial-sum reduction; fast mode on AVX2 hosts uses
+/// the 8-lane FMA fan.
+fn dot_update(a_row: &[f32], b_row: &[f32], fast_simd: bool) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if fast_simd {
+        // SAFETY: `fast_simd` implies `kernel::avx2()`.
+        return unsafe { kernel::x86::dot_fast(a_row, b_row) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = fast_simd;
+    let n = a_row.len();
+    // 4-way partial sums so the reduction can vectorize.
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for q in 0..chunks {
+        let p = q * 4;
+        acc[0] += a_row[p] * b_row[p];
+        acc[1] += a_row[p + 1] * b_row[p + 1];
+        acc[2] += a_row[p + 2] * b_row[p + 2];
+        acc[3] += a_row[p + 3] * b_row[p + 3];
+    }
+    let mut tail = 0.0f32;
+    for p in chunks * 4..n {
+        tail += a_row[p] * b_row[p];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+// ---------------------------------------------------------------------
+// Blocked kernels
+// ---------------------------------------------------------------------
+
 /// C[m,n] += A[m,k] * B[k,n]
 pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let _t = tgl_obs::histogram!("gemm.latency_ns").timer();
@@ -83,9 +257,16 @@ pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
         return mm_nn_sparse(a, b, c, m, k, n);
     }
     let n_tiles = n.div_ceil(NR);
+    let simd = kernel::avx2();
+    let fma = kernel::fast();
     let c = UnsafeSlice::new(c);
-    parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
-        // SAFETY: chunks partition the row space, so these row ranges
+    // Fixed MC-row panels parallelize M: the boundaries are a function
+    // of the shape only, so the work decomposition (and therefore every
+    // element's accumulation order) is thread-count invariant. Small-k
+    // problems widen the panel so pool dispatch stays amortized.
+    let panel_rows = MC.max(seq_rows(k * n));
+    parallel_for_chunks(m, panel_rows, |_, rows: std::ops::Range<usize>| {
+        // SAFETY: panels partition the row space, so these row ranges
         // are disjoint.
         let c_rows = unsafe { c.slice_mut(rows.start * n, rows.len() * n) };
         let (r0, rows_n) = (rows.start, rows.len());
@@ -118,29 +299,15 @@ pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
                         for (r, row) in acc.iter_mut().enumerate() {
                             row[..jw].copy_from_slice(&c_rows[(i + r) * n + jt * NR..][..jw]);
                         }
-                        for kk in 0..kc {
-                            let pb = &pan[kk * NR..(kk + 1) * NR];
-                            for (r, row) in acc.iter_mut().enumerate() {
-                                let av = ar[r][kk];
-                                for (o, &bv) in row.iter_mut().zip(pb) {
-                                    *o += av * bv;
-                                }
-                            }
-                        }
+                        tile_update(&ar, pan, kc, &mut acc, simd, fma);
                         for (r, row) in acc.iter().enumerate() {
                             c_rows[(i + r) * n + jt * NR..][..jw].copy_from_slice(&row[..jw]);
                         }
                     } else {
                         for r in 0..ih {
-                            let arow = a_seg(r);
                             let mut acc = [0.0f32; NR];
                             acc[..jw].copy_from_slice(&c_rows[(i + r) * n + jt * NR..][..jw]);
-                            for (kk, &av) in arow.iter().enumerate() {
-                                let pb = &pan[kk * NR..(kk + 1) * NR];
-                                for (o, &bv) in acc.iter_mut().zip(pb) {
-                                    *o += av * bv;
-                                }
-                            }
+                            row_update(a_seg(r), pan, &mut acc, simd, fma);
                             c_rows[(i + r) * n + jt * NR..][..jw].copy_from_slice(&acc[..jw]);
                         }
                     }
@@ -154,8 +321,9 @@ pub(crate) fn mm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
 }
 
 /// Zero-skipping reference loop for mostly-zero A (identical
-/// floating-point order: k ascending per output element).
+/// floating-point order in exact mode: k ascending per output element).
 fn mm_nn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let fma = kernel::fast();
     let c = UnsafeSlice::new(c);
     parallel_for(m, seq_rows(k * n), |rows: std::ops::Range<usize>| {
         // SAFETY: disjoint row ranges per chunk.
@@ -167,10 +335,7 @@ fn mm_nn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                    *cj += aik * bj;
-                }
+                kernel::axpy_dispatch(c_row, &b[kk * n..(kk + 1) * n], aik, fma);
             }
         }
     });
@@ -179,6 +344,7 @@ fn mm_nn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 /// C[m,k] += A[m,n] * B[k,n]^T  (i.e. A · Bᵀ)
 pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
     let _t = tgl_obs::histogram!("gemm.latency_ns").timer();
+    let fast_simd = kernel::fast() && kernel::avx2();
     let c = UnsafeSlice::new(c);
     parallel_for(m, seq_rows(n * k), |rows: std::ops::Range<usize>| {
         // SAFETY: disjoint row ranges per chunk.
@@ -192,21 +358,7 @@ pub(crate) fn mm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: 
                 // Each loaded B row feeds `ih` dot products.
                 for r in 0..ih {
                     let a_row = &a[(r0 + i + r) * n..][..n];
-                    // 4-way partial sums so the reduction can vectorize.
-                    let mut acc = [0.0f32; 4];
-                    let chunks = n / 4;
-                    for q in 0..chunks {
-                        let p = q * 4;
-                        acc[0] += a_row[p] * b_row[p];
-                        acc[1] += a_row[p + 1] * b_row[p + 1];
-                        acc[2] += a_row[p + 2] * b_row[p + 2];
-                        acc[3] += a_row[p + 3] * b_row[p + 3];
-                    }
-                    let mut tail = 0.0f32;
-                    for p in chunks * 4..n {
-                        tail += a_row[p] * b_row[p];
-                    }
-                    c_rows[(i + r) * k + j] += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+                    c_rows[(i + r) * k + j] += dot_update(a_row, b_row, fast_simd);
                 }
             }
             i += ih;
@@ -224,6 +376,7 @@ pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
     if mostly_zero(a) {
         return mm_tn_sparse(a, b, c, m, k, n);
     }
+    let fma = kernel::fast();
     let c = UnsafeSlice::new(c);
     parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
         // SAFETY: disjoint row ranges per chunk.
@@ -246,10 +399,7 @@ pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
                 let a_col = &ap[kl * mc..(kl + 1) * mc];
                 let c_row = &mut c_rows[kl * n..(kl + 1) * n];
                 for (ii, &av) in a_col.iter().enumerate() {
-                    let b_row = &b[(i0 + ii) * n..][..n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += av * bj;
-                    }
+                    kernel::axpy_dispatch(c_row, &b[(i0 + ii) * n..][..n], av, fma);
                 }
             }
             i0 += mc;
@@ -259,8 +409,9 @@ pub(crate) fn mm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
 }
 
 /// Zero-skipping reference loop for mostly-zero A (identical
-/// floating-point order: i ascending per output element).
+/// floating-point order in exact mode: i ascending per output element).
 fn mm_tn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let fma = kernel::fast();
     let c = UnsafeSlice::new(c);
     parallel_for(k, seq_rows(m * n), |rows: std::ops::Range<usize>| {
         // SAFETY: disjoint row ranges per chunk.
@@ -272,10 +423,7 @@ fn mm_tn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = &b[i * n..(i + 1) * n];
-                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                    *cj += aik * bj;
-                }
+                kernel::axpy_dispatch(c_row, &b[i * n..(i + 1) * n], aik, fma);
             }
         }
     });
@@ -284,6 +432,16 @@ fn mm_tn_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelMode;
+
+    /// Bitwise assertions below define the *exact* contract: take the
+    /// crate-wide kernel lock and pin exact mode (SIMD stays as
+    /// detected — the exact-safe AVX2 tile must match scalar bitwise).
+    fn exact_guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = crate::kernel::test_serial();
+        crate::kernel::set_mode(KernelMode::Exact);
+        g
+    }
 
     fn fill(len: usize, salt: usize) -> Vec<f32> {
         (0..len).map(|i| ((i * 37 + salt * 11) % 101) as f32 * 0.02 - 1.0).collect()
@@ -316,19 +474,38 @@ mod tests {
 
     #[test]
     fn blocked_nn_matches_naive_bitwise() {
+        let _guard = exact_guard();
         for (m, k, n) in SIZES {
             let a = fill(m * k, 1);
             let b = fill(k * n, 2);
             let want = naive_nn(&a, &b, m, k, n);
             let mut got = vec![0.0f32; m * n];
             mm_nn(&a, &b, &mut got, m, k, n);
-            // Same k-ascending order per element => bitwise equal.
+            // Same k-ascending order and per-element roundings (exact
+            // mode, SIMD or scalar) => bitwise equal.
             assert_eq!(got, want, "mm_nn {m}x{k}x{n}");
         }
     }
 
     #[test]
+    fn blocked_nn_simd_matches_scalar_bitwise() {
+        let _guard = exact_guard();
+        for (m, k, n) in SIZES {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 9);
+            crate::kernel::set_simd(false);
+            let mut scalar = vec![0.0f32; m * n];
+            mm_nn(&a, &b, &mut scalar, m, k, n);
+            crate::kernel::set_simd(true);
+            let mut simd = vec![0.0f32; m * n];
+            mm_nn(&a, &b, &mut simd, m, k, n);
+            assert_eq!(simd, scalar, "mm_nn simd parity {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn blocked_nt_matches_reference() {
+        let _guard = exact_guard();
         for (m, n, k) in SIZES {
             let a = fill(m * n, 3);
             let b = fill(k * n, 4);
@@ -361,6 +538,7 @@ mod tests {
 
     #[test]
     fn blocked_tn_matches_naive_bitwise() {
+        let _guard = exact_guard();
         for (m, k, n) in SIZES {
             let a = fill(m * k, 5);
             let b = fill(m * n, 6);
@@ -381,7 +559,29 @@ mod tests {
     }
 
     #[test]
+    fn mc_panel_parallel_nn_thread_count_invariant() {
+        let _guard = exact_guard();
+        // m spans several MC panels so the parallel decomposition is
+        // exercised; k crosses a KC boundary.
+        let (m, k, n) = (300, 257, 33);
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 12);
+        let before = tgl_runtime::current_threads();
+        let run = |threads: usize| {
+            tgl_runtime::set_threads(threads);
+            let mut c = vec![0.0f32; m * n];
+            mm_nn(&a, &b, &mut c, m, k, n);
+            c
+        };
+        let one = run(1);
+        let four = run(4);
+        tgl_runtime::set_threads(before);
+        assert_eq!(one, four, "mm_nn must be bitwise thread-count invariant");
+    }
+
+    #[test]
     fn sparse_operand_takes_skip_path_and_matches() {
+        let _guard = exact_guard();
         let (m, k, n) = (33, 40, 21);
         let mut a = vec![0.0f32; m * k];
         for i in (0..m * k).step_by(7) {

@@ -9,9 +9,115 @@
 //!
 //! All kernels run single-threaded: every call site operates on
 //! parameter-sized buffers (well under [`crate::ops::ELEMWISE_SEQ`]),
-//! where pool dispatch would cost more than the arithmetic.
+//! where pool dispatch would cost more than the arithmetic. On AVX2
+//! hosts the loops dispatch to lane-wise SIMD that is bitwise identical
+//! to the scalar code in exact kernel mode (see `crate::kernel`); fast
+//! mode contracts the multiply-adds to FMA.
 
+use crate::kernel;
 use crate::Tensor;
+
+use self::inplace_simd::adam_dispatch;
+
+pub(crate) mod inplace_simd {
+    //! The fused Adam kernel's SIMD body, kept out of the `impl` block.
+
+    use super::AdamStep;
+
+    /// One fused Adam pass over all four buffers.
+    ///
+    /// Exact-safe without FMA: every lane op (two EMAs as mul/mul/add,
+    /// bias-correction divides, `sqrtps`, the update's mul/div/sub)
+    /// performs the identical IEEE roundings in the same order as the
+    /// scalar loop. Fast mode contracts the two EMAs.
+    pub(crate) fn adam_dispatch(
+        pd: &mut [f32],
+        md: &mut [f32],
+        vd: &mut [f32],
+        g: &[f32],
+        s: AdamStep,
+        fma: bool,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::kernel::avx2() {
+            // SAFETY: avx2() verified CPU support.
+            unsafe {
+                if fma {
+                    adam_avx2::<true>(pd, md, vd, g, s);
+                } else {
+                    adam_avx2::<false>(pd, md, vd, g, s);
+                }
+            }
+            return;
+        }
+        let _ = fma;
+        for i in 0..g.len() {
+            let gi = g[i];
+            md[i] = s.beta1 * md[i] + (1.0 - s.beta1) * gi;
+            vd[i] = s.beta2 * vd[i] + (1.0 - s.beta2) * gi * gi;
+            let m_hat = md[i] / s.bc1;
+            let v_hat = vd[i] / s.bc2;
+            pd[i] -= s.lr * m_hat / (v_hat.sqrt() + s.eps);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn adam_avx2<const FMA: bool>(
+        pd: &mut [f32],
+        md: &mut [f32],
+        vd: &mut [f32],
+        g: &[f32],
+        s: AdamStep,
+    ) {
+        use std::arch::x86_64::*;
+        let n = pd.len();
+        let chunks = n / 8;
+        let b1 = _mm256_set1_ps(s.beta1);
+        let b2 = _mm256_set1_ps(s.beta2);
+        let c1 = _mm256_set1_ps(1.0 - s.beta1);
+        let c2 = _mm256_set1_ps(1.0 - s.beta2);
+        let bc1 = _mm256_set1_ps(s.bc1);
+        let bc2 = _mm256_set1_ps(s.bc2);
+        let eps = _mm256_set1_ps(s.eps);
+        let lr = _mm256_set1_ps(s.lr);
+        for q in 0..chunks {
+            let p = q * 8;
+            let gv = _mm256_loadu_ps(g.as_ptr().add(p));
+            let mv = _mm256_loadu_ps(md.as_ptr().add(p));
+            let vv = _mm256_loadu_ps(vd.as_ptr().add(p));
+            // m = β₁m + (1-β₁)g, scalar order: mul, mul, add.
+            let m_new = if FMA {
+                _mm256_fmadd_ps(b1, mv, _mm256_mul_ps(c1, gv))
+            } else {
+                _mm256_add_ps(_mm256_mul_ps(b1, mv), _mm256_mul_ps(c1, gv))
+            };
+            // v = β₂v + ((1-β₂)g)·g, left-associated like the scalar.
+            let cg = _mm256_mul_ps(c2, gv);
+            let v_new = if FMA {
+                _mm256_fmadd_ps(b2, vv, _mm256_mul_ps(cg, gv))
+            } else {
+                _mm256_add_ps(_mm256_mul_ps(b2, vv), _mm256_mul_ps(cg, gv))
+            };
+            _mm256_storeu_ps(md.as_mut_ptr().add(p), m_new);
+            _mm256_storeu_ps(vd.as_mut_ptr().add(p), v_new);
+            let m_hat = _mm256_div_ps(m_new, bc1);
+            let v_hat = _mm256_div_ps(v_new, bc2);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+            let step = _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom);
+            let pv = _mm256_sub_ps(_mm256_loadu_ps(pd.as_ptr().add(p)), step);
+            _mm256_storeu_ps(pd.as_mut_ptr().add(p), pv);
+        }
+        for i in chunks * 8..n {
+            let gi = *g.get_unchecked(i);
+            md[i] = s.beta1 * md[i] + (1.0 - s.beta1) * gi;
+            vd[i] = s.beta2 * vd[i] + (1.0 - s.beta2) * gi * gi;
+            let m_hat = md[i] / s.bc1;
+            let v_hat = vd[i] / s.bc2;
+            pd[i] -= s.lr * m_hat / (v_hat.sqrt() + s.eps);
+        }
+    }
+}
 
 /// Hyper-parameters for one fused Adam update (see
 /// [`Tensor::adam_step_`]). The bias corrections `bc1`/`bc2` are
@@ -64,9 +170,7 @@ impl Tensor {
         } else {
             let o = other.inner.storage.read();
             let mut d = self.inner.storage.write();
-            for (a, b) in d.iter_mut().zip(o.iter()) {
-                *a += b;
-            }
+            kernel::add_assign_dispatch(&mut d, &o);
         }
         self
     }
@@ -82,9 +186,7 @@ impl Tensor {
         let _prof =
             tgl_obs::profile::op("mul_scalar_").flops(n).io(4 * n, 4 * n).shape(&[self.dims()]);
         let mut d = self.inner.storage.write();
-        for v in d.iter_mut() {
-            *v *= s;
-        }
+        kernel::scale_dispatch(&mut d, s);
         self
     }
 
@@ -100,9 +202,7 @@ impl Tensor {
         let _prof =
             tgl_obs::profile::op("add_scaled_").flops(2 * n).io(8 * n, 4 * n).shape(&[self.dims()]);
         let mut d = self.inner.storage.write();
-        for (a, b) in d.iter_mut().zip(other) {
-            *a += s * b;
-        }
+        kernel::axpy_dispatch(&mut d, other, s, kernel::fast());
         self
     }
 
@@ -118,9 +218,7 @@ impl Tensor {
             tgl_obs::profile::op("addcmul_").flops(3 * n).io(12 * n, 4 * n).shape(&[self.dims()]);
         assert_eq!(a.len(), b.len(), "addcmul_ factor length mismatch");
         let mut d = self.inner.storage.write();
-        for i in 0..d.len() {
-            d[i] += s * a[i] * b[i];
-        }
+        kernel::addcmul_dispatch(&mut d, a, b, s, kernel::fast());
         self
     }
 
@@ -146,14 +244,7 @@ impl Tensor {
         let mut md = m.inner.storage.write();
         let mut vd = v.inner.storage.write();
         let mut pd = self.inner.storage.write();
-        for i in 0..g.len() {
-            let gi = g[i];
-            md[i] = s.beta1 * md[i] + (1.0 - s.beta1) * gi;
-            vd[i] = s.beta2 * vd[i] + (1.0 - s.beta2) * gi * gi;
-            let m_hat = md[i] / s.bc1;
-            let v_hat = vd[i] / s.bc2;
-            pd[i] -= s.lr * m_hat / (v_hat.sqrt() + s.eps);
-        }
+        adam_dispatch(&mut pd, &mut md, &mut vd, g, s, kernel::fast());
         self
     }
 }

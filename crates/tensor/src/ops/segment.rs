@@ -8,8 +8,88 @@
 
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
+use crate::kernel;
 use crate::pool::{self, PooledBuf};
 use crate::Tensor;
+
+/// AVX2 forward for one 8-column block of one segment: per-lane
+/// max / `exp256` / sum / normalize over the segment's rows (ascending,
+/// strided by `d`). Fast-only — `exp256` differs from libm `exp`.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; `j0 + 8 <= d`; the caller's segment owns rows.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn seg_softmax_block_avx2(
+    x: &[f32],
+    y: &UnsafeSlice<f32>,
+    rows: &[usize],
+    d: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+
+    use crate::kernel::x86::exp256;
+    let mut vm = _mm256_set1_ps(f32::NEG_INFINITY);
+    for &i in rows {
+        vm = _mm256_max_ps(vm, _mm256_loadu_ps(x.as_ptr().add(i * d + j0)));
+    }
+    let mut vs = _mm256_setzero_ps();
+    for &i in rows {
+        let e = exp256(_mm256_sub_ps(_mm256_loadu_ps(x.as_ptr().add(i * d + j0)), vm));
+        // SAFETY: segments partition rows, so row `i` is written by
+        // exactly one segment; columns j0..j0+8 are in bounds.
+        let out = y.slice_mut(i * d + j0, 8);
+        _mm256_storeu_ps(out.as_mut_ptr(), e);
+        vs = _mm256_add_ps(vs, e);
+    }
+    for &i in rows {
+        let out = y.slice_mut(i * d + j0, 8);
+        let v = _mm256_div_ps(_mm256_loadu_ps(out.as_ptr()), vs);
+        _mm256_storeu_ps(out.as_mut_ptr(), v);
+    }
+}
+
+/// AVX2 backward for one 8-column block of one segment:
+/// `g_i = (go_i - Σ_k go_k y_k) * y_i` per lane. Exact-safe — the
+/// per-column dot accumulates mul-then-add over ascending rows, the
+/// identical roundings and order as the scalar loop.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; `j0 + 8 <= d`; the caller's segment owns rows.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn seg_softmax_grad_block_avx2(
+    go: &[f32],
+    yv: &[f32],
+    g: &UnsafeSlice<f32>,
+    rows: &[usize],
+    d: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut vdot = _mm256_setzero_ps();
+    for &i in rows {
+        vdot = _mm256_add_ps(
+            vdot,
+            _mm256_mul_ps(
+                _mm256_loadu_ps(go.as_ptr().add(i * d + j0)),
+                _mm256_loadu_ps(yv.as_ptr().add(i * d + j0)),
+            ),
+        );
+    }
+    for &i in rows {
+        // SAFETY: segments partition rows; columns are in bounds.
+        let out = g.slice_mut(i * d + j0, 8);
+        let v = _mm256_mul_ps(
+            _mm256_sub_ps(_mm256_loadu_ps(go.as_ptr().add(i * d + j0)), vdot),
+            _mm256_loadu_ps(yv.as_ptr().add(i * d + j0)),
+        );
+        _mm256_storeu_ps(out.as_mut_ptr(), v);
+    }
+}
 
 /// Rows grouped by segment: `rows[starts[s]..starts[s + 1]]` lists the
 /// row indices of segment `s` in ascending order (counting sort, so the
@@ -116,9 +196,9 @@ pub fn segment_sum(values: &Tensor, segments: &[usize], num_segments: usize) -> 
                 for (si, s) in segs.enumerate() {
                     let orow = &mut rows_out[si * d..(si + 1) * d];
                     for &i in idx.rows_of(s) {
-                        for j in 0..d {
-                            orow[j] += x[i * d + j];
-                        }
+                        // Exact-safe SIMD: lane-wise adds in ascending
+                        // row order, bitwise equal to the scalar loop.
+                        kernel::add_assign_dispatch(orow, &x[i * d..(i + 1) * d]);
                     }
                 }
             },
@@ -171,9 +251,9 @@ pub fn segment_mean(values: &Tensor, segments: &[usize], num_segments: usize) ->
                 for (si, s) in segs.enumerate() {
                     let orow = &mut rows_out[si * d..(si + 1) * d];
                     for &i in idx.rows_of(s) {
-                        for j in 0..d {
-                            orow[j] += x[i * d + j] / counts[s];
-                        }
+                        // Exact-safe SIMD: lane-wise div-then-add, the
+                        // same two roundings as the scalar loop.
+                        kernel::add_div_dispatch(orow, &x[i * d..(i + 1) * d], counts[s]);
                     }
                 }
             },
@@ -259,6 +339,9 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
         .backward_cost(4 * (n * d) as u64, 8 * (n * d) as u64, 4 * (n * d) as u64);
     let device = values.device();
     let idx = SegmentIndex::build(segments, num_segments);
+    let fast_simd = kernel::fast() && kernel::avx2();
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = fast_simd;
     // Segments partition the rows, so every element is written below.
     let mut y = pool::take_uninit(n * d, device);
     {
@@ -271,7 +354,18 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
             |segs: std::ops::Range<usize>| {
                 for s in segs {
                     let rows = idx.rows_of(s);
-                    for j in 0..d {
+                    #[cfg_attr(not(target_arch = "x86_64"), allow(unused_mut))]
+                    let mut j0 = 0;
+                    #[cfg(target_arch = "x86_64")]
+                    if fast_simd {
+                        while j0 + 8 <= d {
+                            // SAFETY: `fast_simd` implies avx2; the
+                            // block's 8 columns are in bounds.
+                            unsafe { seg_softmax_block_avx2(&x[..], &y_sl, rows, d, j0) };
+                            j0 += 8;
+                        }
+                    }
+                    for j in j0..d {
                         // Per (segment, column) max for stability, then
                         // exp and normalize — all over ascending rows.
                         let mut mx = f32::NEG_INFINITY;
@@ -306,6 +400,9 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
         std::slice::from_ref(values),
         move |go| {
             // Per segment/column: dx_i = (go_i - Σ_k go_k y_k) * y_i
+            let simd = kernel::avx2();
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = simd;
             let mut g = pool::take_uninit(n * d, device);
             let g_sl = UnsafeSlice::new(&mut g);
             let (idx, y_copy) = (&idx, &y_copy);
@@ -315,7 +412,20 @@ pub fn segment_softmax(values: &Tensor, segments: &[usize], num_segments: usize)
                 |segs: std::ops::Range<usize>| {
                     for s in segs {
                         let rows = idx.rows_of(s);
-                        for j in 0..d {
+                        #[cfg_attr(not(target_arch = "x86_64"), allow(unused_mut))]
+                        let mut j0 = 0;
+                        #[cfg(target_arch = "x86_64")]
+                        if simd {
+                            while j0 + 8 <= d {
+                                // SAFETY: `simd` is kernel::avx2(); the
+                                // block is exact-safe (see its docs).
+                                unsafe {
+                                    seg_softmax_grad_block_avx2(go, &y_copy[..], &g_sl, rows, d, j0)
+                                };
+                                j0 += 8;
+                            }
+                        }
+                        for j in j0..d {
                             let mut dot = 0.0f32;
                             for &i in rows {
                                 dot += go[i * d + j] * y_copy[i * d + j];

@@ -2,9 +2,87 @@
 
 use tgl_runtime::{parallel_for, UnsafeSlice};
 
+use crate::kernel;
 use crate::ops::rows_threshold;
 use crate::pool::{self, PooledBuf};
 use crate::Tensor;
+
+/// AVX2 forward for one row: vector max / `exp256` / sum / normalize.
+/// Fast-only — the horizontal reductions and polynomial exp change
+/// low-order bits vs the scalar reference (still thread-invariant: the
+/// arithmetic is a function of the row alone).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; `yrow.len() == row.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn softmax_row_avx2(row: &[f32], yrow: &mut [f32]) {
+    use std::arch::x86_64::*;
+
+    use crate::kernel::x86::{exp256, hmax, hsum};
+    let n = row.len();
+    let chunks = n / 8;
+    let mut m = f32::NEG_INFINITY;
+    if chunks > 0 {
+        let mut vm = _mm256_loadu_ps(row.as_ptr());
+        for q in 1..chunks {
+            vm = _mm256_max_ps(vm, _mm256_loadu_ps(row.as_ptr().add(q * 8)));
+        }
+        m = hmax(vm);
+    }
+    for p in chunks * 8..n {
+        m = m.max(*row.get_unchecked(p));
+    }
+    let mv = _mm256_set1_ps(m);
+    let mut vsum = _mm256_setzero_ps();
+    for q in 0..chunks {
+        let e = exp256(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(q * 8)), mv));
+        _mm256_storeu_ps(yrow.as_mut_ptr().add(q * 8), e);
+        vsum = _mm256_add_ps(vsum, e);
+    }
+    let mut sum = hsum(vsum);
+    for p in chunks * 8..n {
+        let e = (row.get_unchecked(p) - m).exp();
+        *yrow.get_unchecked_mut(p) = e;
+        sum += e;
+    }
+    let sv = _mm256_set1_ps(sum);
+    for q in 0..chunks {
+        let v = _mm256_div_ps(_mm256_loadu_ps(yrow.as_ptr().add(q * 8)), sv);
+        _mm256_storeu_ps(yrow.as_mut_ptr().add(q * 8), v);
+    }
+    for p in chunks * 8..n {
+        *yrow.get_unchecked_mut(p) /= sum;
+    }
+}
+
+/// AVX2 backward for one row: `out = (go - <go, y>) * y`. Fast-only
+/// (8-lane FMA dot).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; all slices have equal length.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn softmax_grad_row_avx2(go: &[f32], y: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+
+    use crate::kernel::x86::dot_fast;
+    let dot = dot_fast(go, y);
+    let n = go.len();
+    let chunks = n / 8;
+    let dv = _mm256_set1_ps(dot);
+    for q in 0..chunks {
+        let p = q * 8;
+        let g = _mm256_loadu_ps(go.as_ptr().add(p));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(p));
+        _mm256_storeu_ps(out.as_mut_ptr().add(p), _mm256_mul_ps(_mm256_sub_ps(g, dv), yv));
+    }
+    for p in chunks * 8..n {
+        *out.get_unchecked_mut(p) = (go.get_unchecked(p) - dot) * y.get_unchecked(p);
+    }
+}
 
 impl Tensor {
     /// Softmax over the last dimension.
@@ -29,6 +107,9 @@ impl Tensor {
             .io(4 * n, 8 * n)
             .shape(&[self.dims()])
             .backward_cost(4 * n, 8 * n, 4 * n);
+        let fast_simd = kernel::fast() && kernel::avx2();
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = fast_simd;
         let x = self.inner.storage.read();
         // Fully overwritten row by row — recycled memory needs no zeroing.
         let mut y = pool::take_uninit(x.len(), device);
@@ -41,6 +122,12 @@ impl Tensor {
                 for (k, r) in rs.enumerate() {
                     let row = &x[r * cols..(r + 1) * cols];
                     let yrow = &mut out[k * cols..(k + 1) * cols];
+                    #[cfg(target_arch = "x86_64")]
+                    if fast_simd {
+                        // SAFETY: `fast_simd` implies `kernel::avx2()`.
+                        unsafe { softmax_row_avx2(row, yrow) };
+                        continue;
+                    }
                     let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                     let mut sum = 0.0;
                     for (o, &v) in yrow.iter_mut().zip(row) {
@@ -78,6 +165,18 @@ impl Tensor {
                         let out = unsafe { g_sl.slice_mut(rs.start * cols, rs.len() * cols) };
                         for (k, r) in rs.enumerate() {
                             let base = r * cols;
+                            #[cfg(target_arch = "x86_64")]
+                            if fast_simd {
+                                // SAFETY: `fast_simd` implies avx2.
+                                unsafe {
+                                    softmax_grad_row_avx2(
+                                        &go[base..base + cols],
+                                        &y_copy[base..base + cols],
+                                        &mut out[k * cols..(k + 1) * cols],
+                                    )
+                                };
+                                continue;
+                            }
                             let dot: f32 =
                                 (0..cols).map(|j| go[base + j] * y_copy[base + j]).sum();
                             for j in 0..cols {

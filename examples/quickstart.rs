@@ -20,6 +20,10 @@
 //! `/metrics`, `/healthz`, and `/report.json` over HTTP while training
 //! (`--serve-hold` keeps serving until `GET /quit`), and `--move`
 //! exercises the CPU-to-GPU placement (per-batch metered transfers).
+//! `--kernel <exact|fast>` (or `TGL_KERNEL`) selects the tensor
+//! kernel contract: `exact` (default) is bitwise identical to the
+//! scalar reference kernels, `fast` enables the FMA/vector-exp SIMD
+//! paths with tolerance-level differences.
 
 use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
 use tgl_device::{Device, TransferModel};
@@ -49,6 +53,15 @@ fn main() {
     let profile_out = arg_value("--profile-out").map(std::path::PathBuf::from);
     let profiling = arg_flag("--profile") || profile_out.is_some();
     let host_resident = arg_flag("--move");
+    if let Some(mode) = arg_value("--kernel") {
+        let m = tgl_tensor::kernel::parse(&mode).expect("--kernel: use exact or fast");
+        tgl_tensor::kernel::set_mode(m);
+    }
+    println!(
+        "kernel: {} mode, simd {}",
+        tgl_tensor::kernel::mode().label(),
+        tgl_tensor::kernel::simd_label()
+    );
     if trace_out.is_some() {
         tglite::obs::trace::enable(true);
     }

@@ -10,8 +10,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace --benches
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
+echo "==> cargo test -q --offline (TGL_KERNEL=exact, the default)"
+TGL_KERNEL=exact cargo test -q --offline --workspace
+
+echo "==> cargo test -q --offline (TGL_KERNEL=fast)"
+TGL_KERNEL=fast cargo test -q --offline --workspace
 
 echo "==> quickstart with tracing + metrics"
 OBS_DIR="$(mktemp -d)"
@@ -42,6 +45,16 @@ grep -Eq "compute-bound|bandwidth-bound" "$PROF_LOG" \
     || { echo "profile table carries no roofline verdict"; cat "$PROF_LOG"; exit 1; }
 grep -q "phase coverage" "$PROF_LOG" \
     || { echo "profile output missing phase coverage lines"; cat "$PROF_LOG"; exit 1; }
+# The roofline header must name the calibrated peak with its kernel
+# mode, and no op may be reported above that peak — a ">peak!" marker
+# means the ceiling is stale relative to the measured rates.
+grep -q "roofline: peak" "$PROF_LOG" \
+    || { echo "profile output missing roofline header"; cat "$PROF_LOG"; exit 1; }
+grep -q "kernel exact" "$PROF_LOG" \
+    || { echo "roofline header does not name the default kernel mode"; cat "$PROF_LOG"; exit 1; }
+if grep -q ">peak!" "$PROF_LOG"; then
+    echo "profile reports an op above the calibrated GEMM peak"; cat "$PROF_LOG"; exit 1
+fi
 
 echo "==> live /metrics exposition + scrape check"
 QS_LOG="$OBS_DIR/serve.log"
@@ -73,6 +86,17 @@ cargo bench --offline -q -p tgl-bench --bench alloc_churn
 echo "==> observability overhead guard (counters, histograms, gauges, profiler sites)"
 cargo bench --offline -q -p tgl-bench --bench obs_overhead
 ./target/release/tgl jsoncheck BENCH_obs.json
+
+echo "==> micro-op + GEMM series (exact/fast kernel modes, thread scaling)"
+cargo bench --offline -q -p tgl-bench --bench micro_ops
+./target/release/tgl jsoncheck BENCH_micro_gemm.json
+./target/release/tgl jsoncheck BENCH_parallel.json
+# Both kernel modes must appear in the regenerated artifact so the
+# roofline can calibrate whichever mode a run selects.
+for mode in exact fast; do
+    grep -q "\"kernel\": \"$mode\"" BENCH_micro_gemm.json \
+        || { echo "BENCH_micro_gemm.json missing $mode-mode series"; exit 1; }
+done
 
 echo "==> bench trajectory vs committed baselines"
 scripts/bench_trend

@@ -240,13 +240,15 @@ fn blocked_gemm_invariant_at_tile_boundaries() {
     // boundaries exercise every partial-tile edge path. Forward and
     // backward (which routes through the nt/tn kernels) must stay
     // bitwise thread-invariant at all of them.
-    const SIZES: [(usize, usize, usize); 6] = [
-        (3, 255, 7),   // below every tile in all dims
-        (4, 256, 8),   // exact MR / KC / NR multiples
-        (5, 257, 9),   // one past MR / KC / NR
-        (63, 511, 7),  // just under MC, straddling 2 KC panels
-        (65, 513, 17), // just over MC, one element into a 3rd KC panel
+    const SIZES: [(usize, usize, usize); 7] = [
+        (3, 255, 7),    // below every tile in all dims
+        (4, 256, 8),    // exact MR / KC / NR multiples
+        (5, 257, 9),    // one past MR / KC / NR
+        (63, 511, 7),   // just under MC, straddling 2 KC panels
+        (65, 513, 17),  // just over MC, one element into a 3rd KC panel
         (128, 256, 40),
+        (200, 129, 24), // three full MC row panels + remainder: the
+                        // MC-panel parallel split must stay invariant
     ];
     for (m, k, n) in SIZES {
         assert_invariant(&format!("blocked gemm {m}x{k}x{n}"), || {
