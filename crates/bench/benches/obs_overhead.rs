@@ -81,12 +81,14 @@ fn main() {
         prof::enable(false);
         obs::trace::enable(false);
         obs::profile::enable(false);
+        obs::flight::enable(false);
         off.push(time_it(workload, 0.15));
 
         obs::metrics::set_enabled(true);
         prof::enable(true);
         obs::trace::enable(true);
         obs::profile::enable(true);
+        obs::flight::enable(true);
         on.push(time_it(workload, 0.15));
         // Drain so the trace/profile sinks cannot grow across rounds.
         obs::trace::take();
@@ -97,6 +99,7 @@ fn main() {
     prof::enable(false);
     obs::trace::enable(false);
     obs::profile::enable(false);
+    obs::flight::enable(false);
 
     let off_med = median(off);
     let on_med = median(on);
@@ -109,8 +112,8 @@ fn main() {
 
     // The ≤2% acceptance criterion applies to *disabled* observability.
     // Sites stay compiled in either way, so "disabled" here means all
-    // four enable gates (metrics, phases, trace, op profiler) off; the
-    // budget is 2% relative plus 5us
+    // five enable gates (metrics, phases, trace, op profiler, flight
+    // recorder) off; the budget is 2% relative plus 5us
     // absolute slack for single-core scheduler noise on a workload of
     // hundreds of microseconds.
     let budget = off_med * 1.02 + 5e-6;
@@ -139,6 +142,39 @@ fn main() {
         );
     }
     println!("  OK: disabled observability within 2% budget");
+
+    // The flight recorder ships enabled by default, so unlike the
+    // other gates its *enabled* cost must fit the same 2% + 5us
+    // budget: with every other feature off, flight-on rounds are
+    // interleaved against all-off rounds and the medians compared.
+    let mut fl_base = Vec::with_capacity(ROUNDS);
+    let mut fl_on = Vec::with_capacity(ROUNDS);
+    obs::metrics::set_enabled(false);
+    for _ in 0..ROUNDS {
+        obs::flight::enable(false);
+        fl_base.push(time_it(workload, 0.15));
+        obs::flight::enable(true);
+        fl_on.push(time_it(workload, 0.15));
+    }
+    obs::flight::enable(false);
+    obs::metrics::set_enabled(true);
+    let fl_base_med = median(fl_base);
+    let fl_on_med = median(fl_on);
+    println!(
+        "  flight on: {:>9.1} us/iter  ({:+.2}% over {:.1}us all-off)",
+        fl_on_med * 1e6,
+        (fl_on_med / fl_base_med - 1.0) * 100.0,
+        fl_base_med * 1e6
+    );
+    assert!(
+        fl_on_med <= fl_base_med * 1.02 + 5e-6,
+        "always-on flight recorder exceeds the 2% budget: {:.1}us > {:.1}us \
+         (2% + 5us over the {:.1}us all-off baseline)",
+        fl_on_med * 1e6,
+        (fl_base_med * 1.02 + 5e-6) * 1e6,
+        fl_base_med * 1e6
+    );
+    println!("  OK: always-on flight recorder within 2% budget");
 
     // Raw per-site cost of the histogram/gauge record paths, so the
     // bench-trend guard can watch them drift release over release. A
@@ -188,6 +224,28 @@ fn main() {
     };
     obs::profile::enable(false);
     obs::profile::take();
+    // The span site with only the flight recorder live: one ring
+    // write per span end. This is the cost every traced scope pays
+    // in the always-on default configuration.
+    let span_path = || {
+        for _ in 0..SITES {
+            let _g = obs::span("bench.micro_span");
+        }
+        SITES
+    };
+    obs::metrics::set_enabled(false);
+    obs::flight::enable(false);
+    let span_off_ns = {
+        let med = median((0..5).map(|_| time_it(span_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::flight::enable(true);
+    let span_flight_ns = {
+        let med = median((0..5).map(|_| time_it(span_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::flight::enable(false);
+    obs::metrics::set_enabled(true);
     println!(
         "  hist.record:  {hist_off_ns:>6.2} ns/site disabled, {hist_on_ns:>6.2} ns/site enabled"
     );
@@ -197,29 +255,41 @@ fn main() {
     println!(
         "  profile.op:   {prof_off_ns:>6.2} ns/site disabled, {prof_on_ns:>6.2} ns/site enabled"
     );
+    println!(
+        "  span:         {span_off_ns:>6.2} ns/site all-off, {span_flight_ns:>6.2} ns/site flight-on"
+    );
 
     let json = format!(
         "{{\n  \"host_cpus\": {},\n  \"workload\": {{\n    \"disabled\": {{\"wall_s\": {:.9}}},\n    \
          \"enabled\": {{\"wall_s\": {:.9}}},\n    \"recheck\": {{\"wall_s\": {:.9}}},\n    \
-         \"overhead_pct\": {:.3}\n  }},\n  \"per_site_ns\": {{\n    \
+         \"overhead_pct\": {:.3},\n    \"flight_on\": {{\"wall_s\": {:.9}}},\n    \
+         \"flight_overhead_pct\": {:.3}\n  }},\n  \"per_site_ns\": {{\n    \
          \"hist_record_disabled\": {:.2},\n    \"hist_record_enabled\": {:.2},\n    \
          \"gauge_set_disabled\": {:.2},\n    \"gauge_set_enabled\": {:.2},\n    \
-         \"profile_op_disabled\": {:.2},\n    \"profile_op_enabled\": {:.2}\n  }}\n}}\n",
+         \"profile_op_disabled\": {:.2},\n    \"profile_op_enabled\": {:.2},\n    \
+         \"span_all_off\": {:.2},\n    \"span_flight_on\": {:.2}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         off_med,
         on_med,
         recheck,
         (on_med / off_med - 1.0) * 100.0,
+        fl_on_med,
+        (fl_on_med / fl_base_med - 1.0) * 100.0,
         hist_off_ns,
         hist_on_ns,
         gauge_off_ns,
         gauge_on_ns,
         prof_off_ns,
         prof_on_ns,
+        span_off_ns,
+        span_flight_ns,
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    // The flight recorder is on by default; leave the process the way
+    // a real one runs.
+    obs::flight::enable(true);
 }

@@ -55,11 +55,25 @@ OBSERVABILITY OPTIONS (train/eval):
     --profile-top <N>    rows in the --profile table (default 15)
     --trace-out <PATH>   write a Chrome trace-event JSON of all spans
                          (open in chrome://tracing or ui.perfetto.dev)
+    --critpath           enable span tracing and print a critical-path
+                         table after the run: per-stage serial vs
+                         exclusive vs overlapped time, the critical
+                         path itself, overlap efficiency, and pool
+                         busy/wait attribution
+    --critpath-out <PATH>  write the analysis as a tgl-critpath/v1
+                         JSON artifact (implies --critpath)
+    --flight <on|off>    flight recorder: always-on ring of recent
+                         spans/health events dumped on panic or
+                         health-fail (default on; also TGL_FLIGHT=off;
+                         dumps land in TGL_FLIGHT_DIR or the cwd)
+    --flight-out <PATH>  write a flight dump at end of run
     --metrics-out <PATH> write a structured JSON run report (per-epoch
-                         phases, counters, latency histograms, health)
-    --serve-metrics <ADDR>  serve /metrics, /healthz, /report.json and
-                         /quit over HTTP while the run executes (e.g.
-                         127.0.0.1:0; also via TGL_METRICS_ADDR)
+                         phases, counters, latency histograms, health,
+                         critpath section when tracing is on)
+    --serve-metrics <ADDR>  serve /metrics, /healthz, /report.json,
+                         /profile.json, /critpath.json, /flight.json
+                         and /quit over HTTP while the run executes
+                         (e.g. 127.0.0.1:0; also via TGL_METRICS_ADDR)
     --serve-hold         after the run, keep serving until GET /quit
                          (or a 10-minute timeout)
     --health <off|warn|fail>  non-finite loss/gradient policy: warn
@@ -153,6 +167,19 @@ fn framework(args: &Args) -> Framework {
 }
 
 fn train(args: &Args, eval_only: bool) {
+    // Any panic from here on — kernel bug, assert, health trip —
+    // leaves a flight-recorder post-mortem on disk.
+    tgl_harness::install_flight_hook();
+    if let Some(v) = args.get("flight") {
+        match v {
+            "off" | "0" => tgl_obs::flight::enable(false),
+            "on" | "1" => tgl_obs::flight::enable(true),
+            other => {
+                eprintln!("--flight: unknown value {other:?} (try on/off)");
+                std::process::exit(2);
+            }
+        }
+    }
     let spec = spec(args);
     let fw = framework(args);
     let mk = model_kind(args);
@@ -203,7 +230,11 @@ fn train(args: &Args, eval_only: bool) {
     let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
     let profile_out = args.get("profile-out").map(std::path::PathBuf::from);
     let profiling = args.has_flag("profile") || profile_out.is_some();
-    if trace_out.is_some() {
+    let critpath_out = args.get("critpath-out").map(std::path::PathBuf::from);
+    let critpath = args.has_flag("critpath") || critpath_out.is_some();
+    if trace_out.is_some() || critpath {
+        // Critical-path analysis consumes tracer spans, so --critpath
+        // implies tracing for the run.
         tglite::obs::trace::enable(true);
     }
     if profiling {
@@ -338,10 +369,32 @@ fn train(args: &Args, eval_only: bool) {
             }
         }
     }
-    if let Some(path) = &trace_out {
-        let n = tglite::obs::trace::save_chrome_trace(path).expect("write trace");
+    if trace_out.is_some() || critpath {
+        // Drain once; both consumers read the same span set (the run
+        // report's critpath section already took its own snapshot).
+        let spans = tglite::obs::trace::take();
         tglite::obs::trace::enable(false);
-        println!("chrome trace with {n} spans written to {}", path.display());
+        if let Some(path) = &trace_out {
+            std::fs::write(path, tglite::obs::trace::to_chrome_json(&spans)).expect("write trace");
+            println!(
+                "chrome trace with {} spans written to {}",
+                spans.len(),
+                path.display()
+            );
+        }
+        if critpath {
+            let analysis = tgl_obs::critpath::analyze(&spans);
+            print!("{}", tgl_obs::critpath::render_table(&analysis));
+            if let Some(path) = &critpath_out {
+                std::fs::write(path, tgl_obs::critpath::to_json(&analysis))
+                    .expect("write critpath artifact");
+                println!("critpath artifact written to {}", path.display());
+            }
+        }
+    }
+    if let Some(path) = args.get("flight-out") {
+        std::fs::write(path, tgl_obs::flight::to_json("request")).expect("write flight dump");
+        println!("flight dump written to {path}");
     }
 
     if let Some(path) = args.get("csv") {

@@ -155,6 +155,9 @@ impl HealthMonitor {
         let msg = format!("non-finite loss {loss} at epoch {epoch} batch {batch}");
         health::record(self.policy.event_level(), "trainer.loss", msg.clone());
         if self.policy == HealthPolicy::Fail {
+            // Post-mortem before the policy panic; the panic hook's
+            // recently-dumped check avoids writing a second dump.
+            crate::flightdump::dump("health-fail");
             panic!("health: {msg} (TGL_HEALTH=fail)");
         }
         false
@@ -180,6 +183,9 @@ impl HealthMonitor {
         let msg = format!("{bad} of {} evaluation scores non-finite", scores.len());
         health::record(self.policy.event_level(), "trainer.eval", msg.clone());
         if self.policy == HealthPolicy::Fail {
+            // Post-mortem before the policy panic; the panic hook's
+            // recently-dumped check avoids writing a second dump.
+            crate::flightdump::dump("health-fail");
             panic!("health: {msg} (TGL_HEALTH=fail)");
         }
         false
@@ -234,6 +240,7 @@ impl HealthMonitor {
             let msg = format!("non-finite gradient norm {gn} at end of epoch {epoch}");
             health::record(self.policy.event_level(), "trainer.grad", msg.clone());
             if self.policy == HealthPolicy::Fail {
+                crate::flightdump::dump("health-fail");
                 panic!("health: {msg} (TGL_HEALTH=fail)");
             }
         }
@@ -241,6 +248,7 @@ impl HealthMonitor {
             let msg = format!("non-finite parameters at end of epoch {epoch}");
             health::record(self.policy.event_level(), "trainer.params", msg.clone());
             if self.policy == HealthPolicy::Fail {
+                crate::flightdump::dump("health-fail");
                 panic!("health: {msg} (TGL_HEALTH=fail)");
             }
         }
@@ -308,6 +316,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-finite loss")]
     fn fail_policy_panics_on_nonfinite_loss() {
+        // The fail policy dumps the flight recorder before panicking;
+        // point it at a temp dir so the test leaves no file behind.
+        std::env::set_var("TGL_FLIGHT_DIR", std::env::temp_dir());
         HealthMonitor::new(HealthPolicy::Fail).check_loss(1, 2, f32::NAN);
     }
 

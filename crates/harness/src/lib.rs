@@ -16,8 +16,13 @@
 //! * [`profrep`] — roofline-annotated rendering of the op-level
 //!   profiler (`tgl_obs::profile`): top-k table with achieved GFLOP/s
 //!   and compute- vs bandwidth-bound verdicts, plus per-phase
-//!   attribution coverage.
+//!   attribution coverage;
+//! * [`flightdump`] — flight-recorder dump policy: a std panic hook
+//!   ([`install_flight_hook`]) plus explicit dumps on health-fail
+//!   trips, writing `flight-<ts>.json` post-mortems to
+//!   `TGL_FLIGHT_DIR`.
 
+pub mod flightdump;
 pub mod health;
 pub mod logging;
 pub mod metrics;
@@ -28,6 +33,7 @@ pub mod table;
 mod trainer;
 
 pub use runner::{run_experiment, run_experiment_with_capacity, ExperimentConfig, ExperimentResult, Framework, ModelKind, Placement};
+pub use flightdump::install_flight_hook;
 pub use health::{grad_norm, EpochHealth, HealthMonitor, HealthPolicy};
 pub use logging::MetricLog;
 pub use report::{EpochReport, HealthSection, RunReport, RunReporter};

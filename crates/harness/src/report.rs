@@ -32,9 +32,17 @@
 //!              "source": "trainer.loss", "message": "...", "seq": 3}]},
 //!   "phases_total_s": {"sample": 1.21, "attention": 1.88, ...},
 //!   "profile": [{"op": "matmul", "phase": "attention", "calls": 96,
-//!                "self_ns": 1.2e9, "flops": 8.1e9, ...}, ...]
+//!                "self_ns": 1.2e9, "flops": 8.1e9, ...}, ...],
+//!   "critpath": {"wall_s": 2.1, "critical_s": 1.9, "wait_s": 0.2,
+//!                "overlap_efficiency": 1.4,
+//!                "stages": [{"stage": "sample", "serial_s": 0.4,
+//!                            "exclusive_s": 0.1, "overlapped_s": 0.3,
+//!                            "critical_s": 0.2, "segments": 64}, ...]}
 //! }
 //! ```
+//!
+//! `critpath` is `null` unless span tracing was enabled for the run
+//! (an additive v2 key; see `tgl_obs::critpath`).
 //!
 //! `phases_total_s` sums every epoch's phase drain plus the leftover
 //! captured at finish; `profile` holds the run's per-operator totals
@@ -124,6 +132,43 @@ pub struct RunReport {
     /// Per-operator profiler totals for the run (empty unless
     /// `tgl_obs::profile` was enabled), in self-time-descending order.
     pub profile: Vec<OpStat>,
+    /// Critical-path analysis over the run's tracer spans (`None`
+    /// unless tracing was enabled).
+    pub critpath: Option<tgl_obs::critpath::Analysis>,
+}
+
+/// The critical-path analysis as report JSON — the same shape as the
+/// standalone `tgl-critpath/v1` artifact, minus the schema tag.
+fn critpath_json(a: &tgl_obs::critpath::Analysis) -> Json {
+    let stages = a
+        .stages
+        .iter()
+        .map(|row| {
+            Json::obj(vec![
+                ("stage".into(), Json::Str(row.stage.label().into())),
+                ("serial_s".into(), Json::Num(row.serial_s)),
+                ("exclusive_s".into(), Json::Num(row.exclusive_s)),
+                ("overlapped_s".into(), Json::Num(row.overlapped_s)),
+                ("critical_s".into(), Json::Num(row.critical_s)),
+                ("segments".into(), Json::Num(row.segments as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("wall_s".into(), Json::Num(a.wall_s)),
+        ("busy_s".into(), Json::Num(a.busy_s)),
+        ("serial_s".into(), Json::Num(a.serial_s)),
+        ("critical_s".into(), Json::Num(a.critical_s)),
+        ("wait_s".into(), Json::Num(a.wait_s)),
+        ("overlap_efficiency".into(), Json::Num(a.overlap_efficiency)),
+        ("threads".into(), Json::Num(a.threads as f64)),
+        ("steps".into(), Json::Num(a.steps as f64)),
+        ("spans".into(), Json::Num(a.spans as f64)),
+        ("segments".into(), Json::Num(a.segments as f64)),
+        ("pool_busy_ns".into(), Json::Num(a.pool_busy_ns as f64)),
+        ("pool_wait_ns".into(), Json::Num(a.pool_wait_ns as f64)),
+        ("stages".into(), Json::Arr(stages)),
+    ])
 }
 
 /// One profiled op as report JSON — the same row shape as the
@@ -259,6 +304,13 @@ impl RunReport {
             (
                 "profile".into(),
                 Json::Arr(self.profile.iter().map(op_json).collect()),
+            ),
+            (
+                "critpath".into(),
+                match &self.critpath {
+                    Some(a) => critpath_json(a),
+                    None => Json::Null,
+                },
             ),
         ])
         .render()
@@ -443,6 +495,11 @@ impl RunReporter {
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
         let health = self.collect_health();
+        // Critical-path section when tracing ran: analyze a
+        // non-draining snapshot so the caller can still export the
+        // Chrome trace afterwards.
+        let critpath = tgl_obs::trace::enabled()
+            .then(|| tgl_obs::critpath::analyze(&tgl_obs::trace::snapshot()));
         self.meta.sort_by(|a, b| a.0.cmp(&b.0));
         let report = RunReport {
             meta: std::mem::take(&mut self.meta),
@@ -458,6 +515,7 @@ impl RunReporter {
             health,
             phases_total_s,
             profile,
+            critpath,
         };
         obs::expo::publish_report(report.to_json());
         report

@@ -152,16 +152,24 @@ impl Trainer {
         let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
         health.begin_epoch(&params);
         let start = CpuTimer::start();
+        // Container region (traced + flight recorder only, no phase
+        // accumulation): gives the critical-path analyzer the
+        // epoch/step structure without perturbing the Fig-7 breakdown.
+        let _epoch_region = tgl_obs::region("epoch");
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
         let mut seen = 0usize;
         for range in Split::batches(&split.train, self.cfg.batch_size) {
             let _step = tgl_obs::histogram!("step.latency_ns").timer();
+            let _step_region = tgl_obs::region("step");
             let mut batch = TBatch::new(g.clone(), range);
             batch.set_negatives(negs.draw(batch.len()));
             opt.zero_grad();
-            let (pos, neg) = model.forward(ctx, &batch);
-            let loss = link_loss(&pos, &neg);
+            let loss = {
+                let _fwd = tgl_obs::region("forward");
+                let (pos, neg) = model.forward(ctx, &batch);
+                link_loss(&pos, &neg)
+            };
             let loss_v = loss.item();
             seen += 1;
             if !health.check_loss(epoch, seen - 1, loss_v) {
@@ -212,6 +220,7 @@ impl Trainer {
         let mut all_pos: Vec<f32> = Vec::new();
         let mut all_neg: Vec<f32> = Vec::new();
         {
+            let _eval_region = tgl_obs::region("eval");
             let _guard = no_grad();
             for r in Split::batches(&range, self.cfg.batch_size) {
                 let mut batch = TBatch::new(g.clone(), r);

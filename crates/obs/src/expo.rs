@@ -15,6 +15,11 @@
 //! * `GET /profile.json` — a live `tgl-profile/v1` snapshot of the
 //!   per-operator profiler (non-draining; empty `ops` array until
 //!   profiling is enabled and ops have run).
+//! * `GET /critpath.json` — a live `tgl-critpath/v1` critical-path
+//!   analysis over the tracer's current spans (non-draining; zeroed
+//!   while tracing is off).
+//! * `GET /flight.json` — a `tgl-flight/v1` dump of the flight
+//!   recorder's recent-event rings, on demand.
 //! * `GET /quit` — releases [`wait_for_quit`] so a driver script can
 //!   scrape a short-lived process deterministically and then let it
 //!   exit.
@@ -201,6 +206,16 @@ fn handle(mut stream: TcpStream) {
             let body = crate::profile::to_json(&crate::profile::snapshot());
             respond(&mut stream, "200 OK", "application/json", &body);
         }
+        "/critpath.json" | "/critpath" => {
+            // Non-draining: analyzes a snapshot of whatever the tracer
+            // currently holds (empty analysis when tracing is off).
+            let body = crate::critpath::to_json(&crate::critpath::analyze(&crate::trace::snapshot()));
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/flight.json" | "/flight" => {
+            let body = crate::flight::to_json("request");
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
         "/report.json" | "/report" => match latest_report() {
             Some(json) => respond(&mut stream, "200 OK", "application/json", &json),
             None => respond(
@@ -218,7 +233,7 @@ fn handle(mut stream: TcpStream) {
             &mut stream,
             "200 OK",
             "text/plain",
-            "tgl metrics server: /metrics /healthz /report.json /profile.json /quit\n",
+            "tgl metrics server: /metrics /healthz /report.json /profile.json /critpath.json /flight.json /quit\n",
         ),
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
@@ -343,6 +358,15 @@ mod tests {
         let (code, body) = http_get(&addr, "/profile.json").expect("scrape profile");
         assert_eq!(code, 200);
         assert!(body.contains("\"schema\": \"tgl-profile/v1\""));
+
+        let (code, body) = http_get(&addr, "/critpath.json").expect("scrape critpath");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-critpath/v1\""));
+
+        let (code, body) = http_get(&addr, "/flight.json").expect("scrape flight");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-flight/v1\""));
+        assert!(body.contains("\"reason\": \"request\""));
 
         publish_report("{\"schema\":\"tgl-run-report/v2\"}".into());
         let (code, body) = http_get(&addr, "/report.json").expect("scrape report");

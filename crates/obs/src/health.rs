@@ -56,17 +56,22 @@ static DROPPED: AtomicU64 = AtomicU64::new(0);
 /// Records a health event; returns its sequence number.
 pub fn record(level: Level, source: &'static str, message: String) -> u64 {
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    let mut ev = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
-    if ev.len() < MAX_EVENTS {
-        ev.push(HealthEvent {
-            level,
-            source,
-            message,
-            seq,
-        });
-    } else {
-        DROPPED.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut ev = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+        if ev.len() < MAX_EVENTS {
+            ev.push(HealthEvent {
+                level,
+                source,
+                message,
+                seq,
+            });
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
     }
+    // Mirror into the flight recorder so post-mortem dumps carry the
+    // health timeline (no-op when the recorder is off).
+    crate::flight::note_health(level, source, seq);
     seq
 }
 

@@ -40,12 +40,22 @@
 //!   instead of panicking.
 //!
 //! * [`expo`] — a std-only (`std::net::TcpListener`) HTTP server
-//!   exposing `/metrics` (Prometheus text format), `/healthz`, and
-//!   `/report.json` for live scraping of a running process.
+//!   exposing `/metrics` (Prometheus text format), `/healthz`,
+//!   `/report.json`, `/critpath.json`, and `/flight.json` for live
+//!   scraping of a running process.
 //!
-//! A single [`span`] guard feeds both sinks: phase aggregation when
-//! profiling is enabled, span events when tracing is enabled. Both are
-//! off by default; a disabled guard does one relaxed atomic load.
+//! * [`flight`] — an always-on flight recorder: fixed-size per-thread
+//!   rings of the most recent spans and health events, dumped as a
+//!   `tgl-flight/v1` artifact on panic / health-fail / request.
+//!
+//! * [`critpath`] — critical-path analysis over tracer spans: per-stage
+//!   serial vs overlapped time, the critical path itself, and overlap
+//!   efficiency (the acceptance instrument for pipelined training).
+//!
+//! A single [`span`] guard feeds all sinks: phase aggregation when
+//! profiling is enabled, span events when tracing is enabled, and the
+//! flight recorder's ring (on by default; `TGL_FLIGHT=off` disables).
+//! When everything is off a guard does a few relaxed atomic loads.
 //!
 //! # Examples
 //!
@@ -63,7 +73,9 @@
 //! assert!(tgl_obs::metrics::get("demo.hits") >= 3);
 //! ```
 
+pub mod critpath;
 pub mod expo;
+pub mod flight;
 pub mod health;
 pub mod hist;
 pub mod intern;
@@ -76,11 +88,13 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 /// Starts a span named `name`: an RAII guard that, on drop, adds its
-/// wall time to the [`phase`] accumulator (when profiling is enabled)
-/// and records a trace event (when tracing is enabled). Near-zero cost
-/// when both are disabled.
+/// wall time to the [`phase`] accumulator (when profiling is enabled),
+/// records a trace event (when tracing is enabled), and appends to the
+/// flight recorder's ring (on by default). Near-zero cost when all
+/// three are disabled.
 pub fn span(name: &'static str) -> SpanGuard {
-    let active = phase::enabled() || trace::enabled();
+    let traced = trace::enabled();
+    let active = phase::enabled() || traced || flight::enabled();
     // While op profiling is on, spans double as the profiler's phase
     // scope: ops record under the innermost enclosing span name.
     let scoped = profile::enabled();
@@ -91,15 +105,37 @@ pub fn span(name: &'static str) -> SpanGuard {
         name,
         start: active.then(Instant::now),
         scoped,
+        phase: true,
+        trace_id: if traced { trace::begin_span() } else { 0 },
     }
 }
 
-/// RAII guard produced by [`span`].
+/// Starts a *container region* (`step`, `forward`, `epoch`, ...): like
+/// [`span`] it records into the tracer and flight recorder, but it does
+/// NOT feed the [`phase`] accumulator or scope the op profiler — the
+/// Fig. 7 phase breakdown and `(op, phase)` keys stay exactly as the
+/// fine-grained phase spans define them, while the critical-path
+/// analyzer gets the step/epoch structure it needs.
+pub fn region(name: &'static str) -> SpanGuard {
+    let traced = trace::enabled();
+    let active = traced || flight::enabled();
+    SpanGuard {
+        name,
+        start: active.then(Instant::now),
+        scoped: false,
+        phase: false,
+        trace_id: if traced { trace::begin_span() } else { 0 },
+    }
+}
+
+/// RAII guard produced by [`span`] and [`region`].
 #[derive(Debug)]
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
     scoped: bool,
+    phase: bool,
+    trace_id: u64,
 }
 
 impl Drop for SpanGuard {
@@ -109,11 +145,17 @@ impl Drop for SpanGuard {
         }
         if let Some(start) = self.start {
             let dur = start.elapsed();
-            if phase::enabled() {
+            if self.phase && phase::enabled() {
                 phase::add(self.name, dur);
             }
-            if trace::enabled() {
-                trace::record(self.name, start, dur);
+            // finish_span must run whenever an id was allocated so the
+            // thread-local open-span stack stays balanced, even if
+            // tracing was switched off mid-span.
+            if self.trace_id != 0 || trace::enabled() {
+                trace::finish_span(self.trace_id, self.name, start, dur);
+            }
+            if flight::enabled() {
+                flight::record_span(self.name, start, dur);
             }
         }
     }
@@ -161,6 +203,31 @@ mod tests {
             let _s = span("obs-disabled-probe");
         }
         assert!(!phase::take().iter().any(|(n, _)| *n == "obs-disabled-probe"));
+    }
+
+    #[test]
+    fn region_traces_but_skips_phase_accumulator() {
+        let _g = serial();
+        phase::enable(true);
+        trace::enable(true);
+        phase::take();
+        trace::take();
+        {
+            let _r = region("obs-region-probe");
+            let _s = span("obs-inner-probe");
+        }
+        let phases = phase::take();
+        let spans = trace::take();
+        phase::enable(false);
+        trace::enable(false);
+        assert!(
+            !phases.iter().any(|(n, _)| *n == "obs-region-probe"),
+            "regions must not pollute the Fig-7 phase breakdown"
+        );
+        assert!(phases.iter().any(|(n, _)| *n == "obs-inner-probe"));
+        let outer = spans.iter().find(|s| s.name == "obs-region-probe").unwrap();
+        let inner = spans.iter().find(|s| s.name == "obs-inner-probe").unwrap();
+        assert_eq!(inner.parent(), outer.id);
     }
 
     #[test]

@@ -272,6 +272,7 @@ impl Drop for OpGuard {
                     flops: frame.flops,
                     bytes: frame.bytes_read + frame.bytes_written,
                     shape: frame.shape,
+                    ..Default::default()
                 }),
             );
         }
@@ -335,6 +336,11 @@ pub fn note_pool(hit: bool, bytes: u64) {
             } else {
                 top.pool_misses += 1;
             }
+        } else {
+            // Attribution arrived outside any op frame (e.g. a pool
+            // request from harness bookkeeping). Count the drop so
+            // `/metrics` shows how much activity escapes the profiler.
+            crate::counter!("profile.dropped").incr();
         }
     });
 }
@@ -349,6 +355,8 @@ pub fn note_transfer(bytes: u64) {
     FRAMES.with(|f| {
         if let Some(top) = f.borrow_mut().last_mut() {
             top.transfer_bytes += bytes;
+        } else {
+            crate::counter!("profile.dropped").incr();
         }
     });
 }
@@ -611,11 +619,14 @@ mod tests {
             note_pool(false, 2048);
             note_transfer(4096);
         }
-        // Outside any frame: silently dropped, not a panic.
+        // Outside any frame: dropped from op attribution, but counted
+        // so `/metrics` can expose the escape rate.
+        let dropped0 = crate::metrics::get("profile.dropped");
         note_pool(true, 8);
         note_transfer(8);
         let stats = take();
         enable(false);
+        assert_eq!(crate::metrics::get("profile.dropped"), dropped0 + 2);
         let s = stats.iter().find(|s| s.op == "profile-test-attr").unwrap();
         assert_eq!(s.pool_hits, 1);
         assert_eq!(s.pool_misses, 1);

@@ -7,12 +7,21 @@
 //! JSON — open the file in `chrome://tracing` or
 //! <https://ui.perfetto.dev> to see the per-thread timeline.
 //!
+//! Every recorded span carries a process-unique `id`, and, through its
+//! [`SpanArgs`], an optional `parent` hint: the id of the innermost
+//! span that was open on the recording thread (maintained by a
+//! thread-local stack, see [`begin_span`] / [`finish_span`]). Pool
+//! workers inherit the dispatching thread's parent via
+//! [`adopt_parent`], so cross-thread edges survive into the trace —
+//! the critical-path analyzer ([`crate::critpath`]) uses these hints
+//! to disambiguate predecessors.
+//!
 //! Tracing is **off by default**: unlike the phase accumulator (bounded
 //! by the number of phase names) the sink grows with every span, so it
 //! should only run when a `--trace-out` style flag asks for it.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -30,6 +39,25 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds elapsed since the process trace epoch — the time base
+/// shared by the tracer and the flight recorder.
+pub(crate) fn now_ns() -> u64 {
+    Instant::now().saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Offset of `at` from the process trace epoch, in nanoseconds.
+pub(crate) fn offset_ns(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Next span id; 0 is reserved for "no span / no parent".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of spans currently open on this thread, innermost last.
+    static OPEN: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// One completed span: a named interval on a specific thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
@@ -41,13 +69,28 @@ pub struct Span {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
-    /// Optional op-profiler enrichment rendered into the trace event's
-    /// `args` object.
+    /// Process-unique span id (0 when recorded by legacy paths that
+    /// never allocated one).
+    pub id: u64,
+    /// Optional op-profiler enrichment and parent hint rendered into
+    /// the trace event's `args` object.
     pub args: Option<SpanArgs>,
 }
 
+impl Span {
+    /// The parent hint carried in [`SpanArgs`] (0 = none).
+    pub fn parent(&self) -> u64 {
+        self.args.map_or(0, |a| a.parent)
+    }
+
+    /// End offset (`start_ns + dur_ns`) from the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
 /// Profiler enrichment attached to op spans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanArgs {
     /// Analytic floating-point operations of the op call.
     pub flops: u64,
@@ -55,6 +98,10 @@ pub struct SpanArgs {
     pub bytes: u64,
     /// Input-shape signature, e.g. `2x3,3x4` (may be empty).
     pub shape: &'static str,
+    /// Id of the innermost span open on the recording thread when this
+    /// span ended (0 = none): the dependency-edge hint the critical-path
+    /// analyzer consumes.
+    pub parent: u64,
 }
 
 /// Turns span recording on or off. Enabling pins the trace epoch so
@@ -71,6 +118,71 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Allocates an id for a span that just started and pushes it on the
+/// calling thread's open-span stack. Pair with [`finish_span`].
+pub fn begin_span() -> u64 {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    OPEN.with(|o| o.borrow_mut().push(id));
+    id
+}
+
+/// The id of the innermost open span on this thread (0 = none).
+pub fn current_parent() -> u64 {
+    OPEN.with(|o| o.borrow().last().copied().unwrap_or(0))
+}
+
+/// Pushes a foreign span id (captured on another thread with
+/// [`current_parent`]) onto this thread's open-span stack for the
+/// guard's lifetime, so work executed on a pool worker records the
+/// dispatching span as its parent. A zero id is a no-op.
+pub fn adopt_parent(id: u64) -> AdoptGuard {
+    if id != 0 {
+        OPEN.with(|o| o.borrow_mut().push(id));
+    }
+    AdoptGuard { id }
+}
+
+/// RAII guard produced by [`adopt_parent`].
+#[derive(Debug)]
+pub struct AdoptGuard {
+    id: u64,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            let id = self.id;
+            OPEN.with(|o| {
+                let mut v = o.borrow_mut();
+                if let Some(pos) = v.iter().rposition(|&x| x == id) {
+                    v.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Closes a span opened with [`begin_span`]: pops `id` from the open
+/// stack, then (when tracing is enabled) records the span with the
+/// remaining innermost open span as its parent hint. Must be called
+/// even when tracing was disabled mid-span, so the stack stays
+/// balanced; pass `id == 0` when [`begin_span`] was never called.
+pub fn finish_span(id: u64, name: &'static str, start: Instant, dur: Duration) {
+    let parent = OPEN.with(|o| {
+        let mut v = o.borrow_mut();
+        if id != 0 {
+            if let Some(pos) = v.iter().rposition(|&x| x == id) {
+                v.remove(pos);
+            }
+        }
+        v.last().copied().unwrap_or(0)
+    });
+    if !enabled() {
+        return;
+    }
+    push_span(name, start, dur, if id == 0 { NEXT_ID.fetch_add(1, Ordering::Relaxed) } else { id }, parent, None);
+}
+
 /// Records one completed span for the calling thread. Callers normally
 /// go through `tgl_obs::span`, which checks [`enabled`] first; calling
 /// this directly records unconditionally.
@@ -79,15 +191,50 @@ pub fn record(name: &'static str, start: Instant, dur: Duration) {
 }
 
 /// [`record`] with optional profiler enrichment. Dynamic names must be
-/// interned first (see [`crate::intern::intern`]).
+/// interned first (see [`crate::intern::intern`]). The innermost open
+/// span on this thread becomes the parent hint (unless `args` already
+/// carries one).
 pub fn record_with(name: &'static str, start: Instant, dur: Duration, args: Option<SpanArgs>) {
+    let parent = current_parent();
+    let args = match args {
+        Some(mut a) => {
+            if a.parent == 0 {
+                a.parent = parent;
+            }
+            Some(a)
+        }
+        None if parent != 0 => Some(SpanArgs {
+            parent,
+            ..SpanArgs::default()
+        }),
+        None => None,
+    };
+    push_span(name, start, dur, NEXT_ID.fetch_add(1, Ordering::Relaxed), parent, args);
+}
+
+fn push_span(
+    name: &'static str,
+    start: Instant,
+    dur: Duration,
+    id: u64,
+    parent: u64,
+    args: Option<SpanArgs>,
+) {
     let tid = crate::thread_id();
-    let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
+    let args = match args {
+        some @ Some(_) => some,
+        None if parent != 0 => Some(SpanArgs {
+            parent,
+            ..SpanArgs::default()
+        }),
+        None => None,
+    };
     let span = Span {
         name,
         tid,
-        start_ns,
+        start_ns: offset_ns(start),
         dur_ns: dur.as_nanos() as u64,
+        id,
         args,
     };
     let shard = tid as usize % SHARDS;
@@ -103,6 +250,18 @@ pub fn take() -> Vec<Span> {
     let mut all = Vec::new();
     for shard in &SINK {
         all.append(&mut shard.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+    all.sort_by_key(|s| (s.start_ns, s.tid));
+    all
+}
+
+/// The same sorted view as [`take`] without draining — for live
+/// consumers (`/critpath.json`, the run report's critpath section)
+/// while the owning process still intends to export the trace.
+pub fn snapshot() -> Vec<Span> {
+    let mut all = Vec::new();
+    for shard in &SINK {
+        all.extend(shard.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned());
     }
     all.sort_by_key(|s| (s.start_ns, s.tid));
     all
@@ -132,8 +291,8 @@ pub fn to_chrome_json(spans: &[Span]) -> String {
         if let Some(a) = &s.args {
             let _ = write!(
                 out,
-                ",\"args\":{{\"flops\":{},\"bytes\":{},\"shape\":\"{}\"}}",
-                a.flops, a.bytes, a.shape
+                ",\"args\":{{\"flops\":{},\"bytes\":{},\"shape\":\"{}\",\"id\":{},\"parent\":{}}}",
+                a.flops, a.bytes, a.shape, s.id, a.parent
             );
         }
         out.push('}');
@@ -172,15 +331,72 @@ mod tests {
         let main = spans.iter().find(|s| s.name == "trace-test-main").unwrap();
         let worker = spans.iter().find(|s| s.name == "trace-test-worker").unwrap();
         assert_ne!(main.tid, worker.tid);
+        assert_ne!(main.id, 0);
+        assert_ne!(worker.id, 0);
+        assert_ne!(main.id, worker.id);
         // Drained: a second take sees nothing from this test.
         assert!(!take().iter().any(|s| s.name.starts_with("trace-test-")));
     }
 
     #[test]
+    fn nested_spans_carry_parent_hints() {
+        let _g = serial();
+        enable(true);
+        take();
+        {
+            let _outer = crate::span("trace-test-parent");
+            let _inner = crate::span("trace-test-child");
+        }
+        let spans = take();
+        enable(false);
+        let outer = spans.iter().find(|s| s.name == "trace-test-parent").unwrap();
+        let inner = spans.iter().find(|s| s.name == "trace-test-child").unwrap();
+        assert_eq!(inner.parent(), outer.id, "child must point at its parent");
+        assert_eq!(outer.parent(), 0, "outermost span has no parent");
+    }
+
+    #[test]
+    fn adopted_parents_cross_threads() {
+        let _g = serial();
+        enable(true);
+        take();
+        let parent_id;
+        {
+            let _outer = crate::span("trace-test-dispatch");
+            parent_id = current_parent();
+            assert_ne!(parent_id, 0);
+            std::thread::spawn(move || {
+                let _adopt = adopt_parent(parent_id);
+                let _s = crate::span("trace-test-adopted");
+            })
+            .join()
+            .unwrap();
+        }
+        let spans = take();
+        enable(false);
+        let adopted = spans.iter().find(|s| s.name == "trace-test-adopted").unwrap();
+        assert_eq!(adopted.parent(), parent_id);
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let _g = serial();
+        enable(true);
+        take();
+        {
+            let _s = crate::span("trace-test-snap");
+        }
+        assert!(snapshot().iter().any(|s| s.name == "trace-test-snap"));
+        let spans = take();
+        enable(false);
+        assert!(spans.iter().any(|s| s.name == "trace-test-snap"));
+    }
+
+    #[test]
     fn chrome_json_shape() {
         let spans = vec![
-            Span { name: "alpha", tid: 0, start_ns: 1_500, dur_ns: 2_000_123, args: None },
-            Span { name: "beta", tid: 3, start_ns: 10_000, dur_ns: 500, args: None },
+            Span { name: "alpha", tid: 0, start_ns: 1_500, dur_ns: 2_000_123, id: 0, args: None },
+            Span { name: "beta", tid: 3, start_ns: 10_000, dur_ns: 500, id: 0, args: None },
         ];
         let json = to_chrome_json(&spans);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -200,11 +416,14 @@ mod tests {
             tid: 1,
             start_ns: 1_000,
             dur_ns: 2_000,
-            args: Some(SpanArgs { flops: 48, bytes: 128, shape: "2x3,3x4" }),
+            id: 9,
+            args: Some(SpanArgs { flops: 48, bytes: 128, shape: "2x3,3x4", parent: 7 }),
         }];
         let json = to_chrome_json(&spans);
         assert!(json.contains("\"name\":\"matmul[2x3,3x4]\""));
-        assert!(json.contains("\"args\":{\"flops\":48,\"bytes\":128,\"shape\":\"2x3,3x4\"}"));
+        assert!(json.contains(
+            "\"args\":{\"flops\":48,\"bytes\":128,\"shape\":\"2x3,3x4\",\"id\":9,\"parent\":7}"
+        ));
     }
 
     #[test]

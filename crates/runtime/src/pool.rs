@@ -85,6 +85,10 @@ struct JobCore {
     done_cv: Condvar,
     /// First panic payload raised by any chunk, rethrown by the caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Dispatching thread's innermost open span id (0 when tracing is
+    /// off): workers adopt it so their `pool.job` spans carry a
+    /// cross-thread parent hint for critical-path analysis.
+    parent_span: u64,
 }
 
 unsafe impl Send for JobCore {}
@@ -103,8 +107,11 @@ thread_local! {
 
 /// Claims and executes chunks until the job's counter is exhausted.
 fn drain_job(job: &JobCore) {
-    let observing = tgl_obs::metrics::enabled() || tgl_obs::trace::enabled();
+    let observing = tgl_obs::metrics::enabled()
+        || tgl_obs::trace::enabled()
+        || tgl_obs::flight::enabled();
     let started = observing.then(std::time::Instant::now);
+    let _adopt = tgl_obs::trace::adopt_parent(job.parent_span);
     let mut executed: u64 = 0;
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
@@ -136,6 +143,9 @@ fn drain_job(job: &JobCore) {
         BUSY_NS.with(|c| c.add(busy.as_nanos() as u64));
         if tgl_obs::trace::enabled() {
             tgl_obs::trace::record("pool.job", started, busy);
+        }
+        if tgl_obs::flight::enabled() {
+            tgl_obs::flight::record_span("pool.job", started, busy);
         }
     }
 }
@@ -227,6 +237,11 @@ fn run_region<F: Fn(Range<usize>) + Sync>(total: usize, chunk: usize, par: usize
         done_lock: Mutex::new(()),
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
+        parent_span: if tgl_obs::trace::enabled() {
+            tgl_obs::trace::current_parent()
+        } else {
+            0
+        },
     });
     {
         let pool = pool();

@@ -16,10 +16,15 @@
 //! table (with `--profile-out <PATH>` writing the `tgl-profile/v1`
 //! JSON artifact), `--trace-out` writes a Chrome trace (open in
 //! chrome://tracing or ui.perfetto.dev), `--metrics-out` writes a
-//! structured JSON run report, `--serve-metrics <ADDR>` serves live
-//! `/metrics`, `/healthz`, and `/report.json` over HTTP while training
-//! (`--serve-hold` keeps serving until `GET /quit`), and `--move`
-//! exercises the CPU-to-GPU placement (per-batch metered transfers).
+//! structured JSON run report, `--critpath` prints the per-stage
+//! critical-path table after the run (`--critpath-out <PATH>` writes
+//! the `tgl-critpath/v1` artifact), `--flight-out <PATH>` writes a
+//! flight-recorder dump (`--flight off` disables the always-on
+//! recorder), `--serve-metrics <ADDR>` serves live `/metrics`,
+//! `/healthz`, `/report.json`, `/critpath.json`, and `/flight.json`
+//! over HTTP while training (`--serve-hold` keeps serving until
+//! `GET /quit`), and `--move` exercises the CPU-to-GPU placement
+//! (per-batch metered transfers).
 //! `--kernel <exact|fast>` (or `TGL_KERNEL`) selects the tensor
 //! kernel contract: `exact` (default) is bitwise identical to the
 //! scalar reference kernels, `fast` enables the FMA/vector-exp SIMD
@@ -52,7 +57,13 @@ fn main() {
     let metrics_out = arg_value("--metrics-out").map(std::path::PathBuf::from);
     let profile_out = arg_value("--profile-out").map(std::path::PathBuf::from);
     let profiling = arg_flag("--profile") || profile_out.is_some();
+    let critpath_out = arg_value("--critpath-out").map(std::path::PathBuf::from);
+    let critpath = arg_flag("--critpath") || critpath_out.is_some();
     let host_resident = arg_flag("--move");
+    tgl_harness::install_flight_hook();
+    if let Some(v) = arg_value("--flight") {
+        tglite::obs::flight::enable(!matches!(v.as_str(), "off" | "0"));
+    }
     if let Some(mode) = arg_value("--kernel") {
         let m = tgl_tensor::kernel::parse(&mode).expect("--kernel: use exact or fast");
         tgl_tensor::kernel::set_mode(m);
@@ -62,7 +73,7 @@ fn main() {
         tgl_tensor::kernel::mode().label(),
         tgl_tensor::kernel::simd_label()
     );
-    if trace_out.is_some() {
+    if trace_out.is_some() || critpath {
         tglite::obs::trace::enable(true);
     }
     if profiling {
@@ -199,10 +210,30 @@ fn main() {
             }
         }
     }
-    if let Some(path) = &trace_out {
-        let n = tglite::obs::trace::save_chrome_trace(path).expect("write trace");
+    if trace_out.is_some() || critpath {
+        let spans = tglite::obs::trace::take();
         tglite::obs::trace::enable(false);
-        println!("chrome trace with {n} spans written to {}", path.display());
+        if let Some(path) = &trace_out {
+            std::fs::write(path, tglite::obs::trace::to_chrome_json(&spans)).expect("write trace");
+            println!(
+                "chrome trace with {} spans written to {}",
+                spans.len(),
+                path.display()
+            );
+        }
+        if critpath {
+            let analysis = tglite::obs::critpath::analyze(&spans);
+            print!("{}", tglite::obs::critpath::render_table(&analysis));
+            if let Some(path) = &critpath_out {
+                std::fs::write(path, tglite::obs::critpath::to_json(&analysis))
+                    .expect("write critpath artifact");
+                println!("critpath artifact written to {}", path.display());
+            }
+        }
+    }
+    if let Some(path) = arg_value("--flight-out") {
+        std::fs::write(&path, tglite::obs::flight::to_json("request")).expect("write flight dump");
+        println!("flight dump written to {path}");
     }
 
     // The learning signal needs the full-size stream and all epochs; a

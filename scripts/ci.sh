@@ -56,6 +56,30 @@ if grep -q ">peak!" "$PROF_LOG"; then
     echo "profile reports an op above the calibrated GEMM peak"; cat "$PROF_LOG"; exit 1
 fi
 
+echo "==> critical-path analysis + flight recorder smoke"
+CP_LOG="$OBS_DIR/critpath.log"
+TGL_THREADS=2 ./target/release/quickstart \
+    --scale 8 --epochs 1 \
+    --critpath --critpath-out "$OBS_DIR/critpath.json" \
+    --flight-out "$OBS_DIR/flight.json" >"$CP_LOG" 2>&1 \
+    || { cat "$CP_LOG"; exit 1; }
+./target/release/tgl jsoncheck "$OBS_DIR/critpath.json"
+./target/release/tgl jsoncheck "$OBS_DIR/flight.json"
+grep -q '"schema": "tgl-critpath/v1"' "$OBS_DIR/critpath.json" \
+    || { echo "critpath artifact missing tgl-critpath/v1 schema"; exit 1; }
+grep -q '"schema": "tgl-flight/v1"' "$OBS_DIR/flight.json" \
+    || { echo "flight dump missing tgl-flight/v1 schema"; exit 1; }
+# The table must lead with the critical-path headline and break the
+# run down into the pipeline stages the paper's Figure 7 names.
+grep -q "critical path" "$CP_LOG" \
+    || { echo "critpath table missing headline"; cat "$CP_LOG"; exit 1; }
+for stage in sample transfer forward backward; do
+    grep -Eq "^$stage +[0-9]" "$CP_LOG" \
+        || { echo "critpath table missing $stage stage"; cat "$CP_LOG"; exit 1; }
+done
+grep -q "overlap efficiency" "$CP_LOG" \
+    || { echo "critpath table missing overlap efficiency"; cat "$CP_LOG"; exit 1; }
+
 echo "==> live /metrics exposition + scrape check"
 QS_LOG="$OBS_DIR/serve.log"
 TGL_THREADS=2 ./target/release/quickstart \
