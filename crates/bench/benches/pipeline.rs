@@ -1,0 +1,105 @@
+//! Sequential-vs-pipelined trainer epoch walls.
+//!
+//! Trains the same TGAT configuration twice — pipeline depth 0 (the
+//! sequential reference) and depth 2 (sampler stage prefetching over
+//! the bounded channel) — and records per-epoch *wall* time for both.
+//! CPU time is the wrong metric here: the pipeline wins by overlapping
+//! the sampler stage with compute, which lowers wall clock while total
+//! cycles stay put. On a single-core container the two series are
+//! expected to be ~flat (the `--critpath` overlap report is the signal
+//! there); on multi-core hosts the pipelined series should be faster.
+//!
+//! The bench also *asserts* the bitwise-identity contract: per-epoch
+//! losses at depth 2 must equal the sequential ones bit for bit —
+//! a perf artifact generated from a diverged run would be meaningless.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
+use tgl_harness::{TrainConfig, Trainer};
+use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgat};
+use tglite::TContext;
+
+const EPOCHS: usize = 3;
+
+/// Trains `EPOCHS` epochs at the given pipeline depth, returning
+/// per-epoch `(wall_s, loss)`.
+fn run(depth: usize) -> Vec<(f64, f32)> {
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(8);
+    let (g, _) = generate(&spec);
+    let split = Split::standard(&g);
+    let ctx = TContext::new(Arc::clone(&g));
+    let mut model = Tgat::new(&ctx, ModelConfig::tiny(), OptFlags::all(), 42);
+    let trainer = Trainer::new(
+        TrainConfig {
+            batch_size: 100,
+            epochs: EPOCHS,
+            lr: 1e-3,
+            seed: 17,
+        },
+        spec.n_src as u32,
+        spec.num_nodes() as u32,
+    )
+    .with_pipeline(depth);
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+    (0..EPOCHS)
+        .map(|e| {
+            let t0 = Instant::now();
+            let s = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, e);
+            (t0.elapsed().as_secs_f64(), s.loss)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== pipelined trainer: sequential vs depth-2 epoch walls ==");
+    let sequential = run(0);
+    let pipelined = run(2);
+
+    for e in 0..EPOCHS {
+        let (sw, sl) = sequential[e];
+        let (pw, pl) = pipelined[e];
+        assert_eq!(
+            sl.to_bits(),
+            pl.to_bits(),
+            "epoch {e}: pipelined loss {pl} diverged from sequential {sl}"
+        );
+        println!(
+            "  epoch {e}: sequential {:>7.3}s  pipelined {:>7.3}s  ({:.2}x)  loss {sl:.4} (bitwise equal)",
+            sw,
+            pw,
+            sw / pw
+        );
+    }
+    let seq_total: f64 = sequential.iter().map(|(w, _)| w).sum();
+    let pipe_total: f64 = pipelined.iter().map(|(w, _)| w).sum();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "  total: sequential {seq_total:.3}s, pipelined {pipe_total:.3}s \
+         ({:.2}x on {cpus} cpus)",
+        seq_total / pipe_total
+    );
+
+    let mut epochs_json = String::new();
+    for (e, ((sw, _), (pw, _))) in sequential.iter().zip(&pipelined).enumerate() {
+        epochs_json.push_str(&format!(
+            "    {{\"epoch\": {e}, \"sequential\": {{\"wall_s\": {sw:.6}}}, \
+             \"pipelined\": {{\"wall_s\": {pw:.6}}}}}{}\n",
+            if e + 1 < EPOCHS { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"pipeline_depth\": 2,\n  \"bitwise_identical\": true,\n  \
+         \"epochs\": [\n{epochs_json}  ],\n  \
+         \"total\": {{\"sequential\": {{\"wall_s\": {seq_total:.6}}}, \
+         \"pipelined\": {{\"wall_s\": {pipe_total:.6}}}, \"speedup\": {:.3}}}\n}}\n",
+        seq_total / pipe_total
+    );
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -40,8 +40,9 @@ SUBCOMMANDS:
                wall-time series against an older copy and fail on
                regressions beyond the budget (default 25%)
     promcheck  scrape a live /metrics endpoint (`tgl promcheck <ADDR>
-               [--min-hist <N>] [--quit]`) and validate the Prometheus
-               exposition
+               [--min-hist <N>] [--require <NAME[,NAME...]>] [--quit]`)
+               and validate the Prometheus exposition; --require fails
+               unless every named family appears in the scrape
 
 OBSERVABILITY OPTIONS (train/eval):
     --prof               print the per-phase epoch breakdown (Fig. 7)
@@ -81,6 +82,12 @@ OBSERVABILITY OPTIONS (train/eval):
                          (default), fail aborts, off disables checks
                          (also via TGL_HEALTH)
     --threads <N>        set the worker pool width (overrides TGL_THREADS)
+    --pipeline <N>       pipelined training: a sampler stage prefetches
+                         up to N batches (negatives, neighbor sampling,
+                         transfer staging) ahead of the compute stage
+                         over a bounded channel; 0 = sequential
+                         reference (default; also via TGL_PIPELINE).
+                         Losses are bitwise identical at any depth
     --kernel <exact|fast>  tensor kernel contract (overrides TGL_KERNEL):
                          exact = bitwise identical to the scalar
                          reference on every host (default), fast =
@@ -286,7 +293,16 @@ fn train(args: &Args, eval_only: bool) {
     } else {
         (0, spec.num_nodes() as u32)
     };
-    let trainer = Trainer::new(train_cfg, neg_lo, neg_hi);
+    let mut trainer = Trainer::new(train_cfg, neg_lo, neg_hi);
+    if let Some(depth) = args.get("pipeline") {
+        match depth.parse::<usize>() {
+            Ok(d) => trainer = trainer.with_pipeline(d),
+            Err(_) => {
+                eprintln!("--pipeline: expected a queue depth, got {depth:?}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     if eval_only {
         if let Some(path) = args.get("ckpt") {
@@ -416,7 +432,7 @@ fn train(args: &Args, eval_only: bool) {
 
 fn promcheck_cmd(args: &Args) {
     let addr = args.get("addr").or_else(|| args.get("_extra")).unwrap_or_else(|| {
-        eprintln!("usage: tgl promcheck <ADDR> [--min-hist <N>] [--quit]");
+        eprintln!("usage: tgl promcheck <ADDR> [--min-hist <N>] [--require <NAME[,NAME...]>] [--quit]");
         std::process::exit(2);
     });
     let (code, body) = tgl_obs::expo::http_get(addr, "/metrics").unwrap_or_else(|e| {
@@ -456,6 +472,21 @@ fn promcheck_cmd(args: &Args) {
             summary.histograms
         );
         std::process::exit(1);
+    }
+    if let Some(required) = args.get("require") {
+        let missing: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty() && !summary.has_family(n))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "{addr}/metrics: missing required families: {}",
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("{addr}/metrics: all required families present ({required})");
     }
     if args.has_flag("quit") {
         tgl_obs::expo::http_get(addr, "/quit").ok();

@@ -22,6 +22,15 @@ pub struct ExpoSummary {
     pub samples: usize,
     /// Names of the histogram families, in document order.
     pub histogram_names: Vec<String>,
+    /// Names of every declared family (any type), in document order.
+    pub family_names: Vec<String>,
+}
+
+impl ExpoSummary {
+    /// Whether a family of the given exposed name was declared.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.family_names.iter().any(|n| n == name)
+    }
 }
 
 fn valid_metric_name(name: &str) -> bool {
@@ -101,6 +110,7 @@ pub fn validate(doc: &str) -> Result<ExpoSummary, String> {
             if families.insert(name.to_string(), ty.to_string()).is_some() {
                 return Err(format!("line {lineno}: duplicate TYPE for {name:?}"));
             }
+            summary.family_names.push(name.to_string());
             match ty {
                 "counter" => summary.counters += 1,
                 "gauge" => summary.gauges += 1,
@@ -213,6 +223,12 @@ tgl_step_latency_ns_count 5
         assert_eq!(s.histograms, 1);
         assert_eq!(s.samples, 6);
         assert_eq!(s.histogram_names, vec!["tgl_step_latency_ns"]);
+        assert_eq!(
+            s.family_names,
+            vec!["tgl_cache_hits_total", "tgl_health_loss", "tgl_step_latency_ns"]
+        );
+        assert!(s.has_family("tgl_health_loss"));
+        assert!(!s.has_family("tgl_missing"));
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct TBatch {
     graph: Arc<TemporalGraph>,
     range: Range<usize>,
     negs: Vec<NodeId>,
+    /// Prefetched sampling/staging work attached by the pipelined
+    /// trainer's sampler stage (see [`crate::plan`]).
+    plan: Option<Arc<crate::plan::BatchPlan>>,
 }
 
 impl TBatch {
@@ -33,6 +36,7 @@ impl TBatch {
             graph,
             range,
             negs: Vec::new(),
+            plan: None,
         }
     }
 
@@ -90,6 +94,18 @@ impl TBatch {
     /// The attached negative destinations (empty if none).
     pub fn negatives(&self) -> &[NodeId] {
         &self.negs
+    }
+
+    /// Attaches a prefetch plan built by [`crate::plan::build_plan`].
+    /// Plan-aware models replay it instead of re-running dedup,
+    /// sampling, and feature staging on the compute thread.
+    pub fn set_plan(&mut self, plan: Arc<crate::plan::BatchPlan>) {
+        self.plan = Some(plan);
+    }
+
+    /// The attached prefetch plan, if any.
+    pub fn plan(&self) -> Option<&Arc<crate::plan::BatchPlan>> {
+        self.plan.as_ref()
     }
 
     /// Builds the head [`TBlock`] for embedding computation: the

@@ -443,6 +443,18 @@ impl TBlock {
         }
     }
 
+    /// Snapshot of the installed `(dst, src, edge)` feature caches.
+    /// Plan staging ([`crate::plan::build_plan`]) harvests these after
+    /// running `op::preload` on a prefetch-local chain.
+    pub(crate) fn feat_caches(&self) -> (Option<Tensor>, Option<Tensor>, Option<Tensor>) {
+        let inner = self.inner.borrow();
+        (
+            inner.dst_feat_cache.clone(),
+            inner.src_feat_cache.clone(),
+            inner.edge_feat_cache.clone(),
+        )
+    }
+
     /// Drops cached feature tensors; they reload gracefully on next
     /// access.
     pub fn flush_cache(&self) {

@@ -75,6 +75,7 @@ mod block;
 mod ctx;
 pub mod nn;
 pub mod op;
+pub mod plan;
 pub mod prof;
 mod sampler;
 

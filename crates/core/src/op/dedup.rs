@@ -21,36 +21,56 @@ use crate::TBlock;
 ///
 /// Panics if the block already has a sampled neighborhood.
 pub fn dedup(blk: &TBlock) -> TBlock {
+    dedup_planned(blk);
+    blk.clone()
+}
+
+/// Like [`dedup`], but also returns the `(nodes, times, inverse)`
+/// replacement when one actually happened, so a prefetch plan can
+/// replay it later with [`dedup_apply`]. Counters fire here (once).
+pub(crate) fn dedup_planned(blk: &TBlock) -> Option<(Vec<NodeId>, Vec<Time>, Vec<usize>)> {
     assert!(
         !blk.has_nbrs(),
         "dedup must be applied before sampling the neighborhood"
     );
-    let (uniq_nodes, uniq_times, inverse) = blk.with_dst(|nodes, times| {
-        let mut seen: HashMap<(NodeId, u64), usize> = HashMap::with_capacity(nodes.len());
-        let mut uniq_nodes: Vec<NodeId> = Vec::new();
-        let mut uniq_times: Vec<Time> = Vec::new();
-        let mut inverse = Vec::with_capacity(nodes.len());
-        for (&n, &t) in nodes.iter().zip(times) {
-            let key = (n, t.to_bits());
-            let pos = *seen.entry(key).or_insert_with(|| {
-                uniq_nodes.push(n);
-                uniq_times.push(t);
-                uniq_nodes.len() - 1
-            });
-            inverse.push(pos);
-        }
-        (uniq_nodes, uniq_times, inverse)
-    });
+    let (uniq_nodes, uniq_times, inverse) = blk.with_dst(compute);
     tgl_obs::counter!("dedup.rows_in").add(inverse.len() as u64);
     tgl_obs::counter!("dedup.rows_saved").add((inverse.len() - uniq_nodes.len()) as u64);
     if uniq_nodes.len() == inverse.len() {
-        return blk.clone(); // already unique — nothing to do
+        return None; // already unique — nothing to do
     }
-    blk.replace_dst(uniq_nodes, uniq_times);
+    dedup_apply(blk, uniq_nodes.clone(), uniq_times.clone(), inverse.clone());
+    Some((uniq_nodes, uniq_times, inverse))
+}
+
+/// Applies a precomputed dedup replacement: swaps in the unique
+/// destination list and registers the inversion hook. Fires no
+/// counters — the plan-apply path, where [`dedup_planned`] already
+/// counted this work on the sampler stage.
+pub(crate) fn dedup_apply(blk: &TBlock, nodes: Vec<NodeId>, times: Vec<Time>, inverse: Vec<usize>) {
+    blk.replace_dst(nodes, times);
     blk.register_hook(BlockHook::new("dedup-invert", move |out| {
         out.index_select(&inverse)
     }));
-    blk.clone()
+}
+
+/// The pure dedup computation: unique `(node, time)` pairs in
+/// first-appearance order plus the inverse row mapping.
+fn compute(nodes: &[NodeId], times: &[Time]) -> (Vec<NodeId>, Vec<Time>, Vec<usize>) {
+    let mut seen: HashMap<(NodeId, u64), usize> = HashMap::with_capacity(nodes.len());
+    let mut uniq_nodes: Vec<NodeId> = Vec::new();
+    let mut uniq_times: Vec<Time> = Vec::new();
+    let mut inverse = Vec::with_capacity(nodes.len());
+    for (&n, &t) in nodes.iter().zip(times) {
+        let key = (n, t.to_bits());
+        let pos = *seen.entry(key).or_insert_with(|| {
+            uniq_nodes.push(n);
+            uniq_times.push(t);
+            uniq_nodes.len() - 1
+        });
+        inverse.push(pos);
+    }
+    (uniq_nodes, uniq_times, inverse)
 }
 
 #[cfg(test)]

@@ -99,6 +99,10 @@ pub struct Trainer {
     cfg: TrainConfig,
     neg_lo: u32,
     neg_hi: u32,
+    /// Pipeline depth: 0 runs the sequential reference loop; `d >= 1`
+    /// runs a sampler stage prefetching up to `d` batches ahead of the
+    /// compute stage over a bounded channel.
+    pipeline: usize,
     /// Health monitor state, kept across epochs (loss trend). Behind a
     /// mutex only because `train_epoch` takes `&self`.
     health: std::sync::Mutex<HealthMonitor>,
@@ -108,12 +112,19 @@ impl Trainer {
     /// Creates a trainer drawing negatives from node ids
     /// `[neg_lo, neg_hi)`. The health policy comes from `TGL_HEALTH`
     /// (default warn); override with
-    /// [`with_health`](Trainer::with_health).
+    /// [`with_health`](Trainer::with_health). The pipeline depth comes
+    /// from `TGL_PIPELINE` (default 0 = sequential); override with
+    /// [`with_pipeline`](Trainer::with_pipeline).
     pub fn new(cfg: TrainConfig, neg_lo: u32, neg_hi: u32) -> Trainer {
+        let pipeline = std::env::var("TGL_PIPELINE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         Trainer {
             cfg,
             neg_lo,
             neg_hi,
+            pipeline,
             health: std::sync::Mutex::new(HealthMonitor::new(HealthPolicy::from_env())),
         }
     }
@@ -124,6 +135,18 @@ impl Trainer {
         self
     }
 
+    /// Sets the pipeline depth: 0 = sequential (the bitwise
+    /// reference), `d >= 1` = prefetch up to `d` batches ahead.
+    pub fn with_pipeline(mut self, depth: usize) -> Trainer {
+        self.pipeline = depth;
+        self
+    }
+
+    /// The configured pipeline depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline
+    }
+
     /// The configured batch size.
     pub fn batch_size(&self) -> usize {
         self.cfg.batch_size
@@ -132,6 +155,16 @@ impl Trainer {
     /// Runs one training epoch over `split.train`, then evaluates AP on
     /// `split.val`. Memory state is reset at the epoch start and flows
     /// chronologically train → val.
+    ///
+    /// With a pipeline depth of `d >= 1` (see
+    /// [`with_pipeline`](Trainer::with_pipeline)), a sampler stage on
+    /// its own thread prefetches up to `d` batches ahead — negative
+    /// draws, neighbor sampling/dedup, and pinned transfer staging via
+    /// [`tglite::plan`] — over a bounded channel while this thread
+    /// runs forward/backward/opt. All parameter and cache mutation
+    /// stays on this thread in batch order, and the prefetched work is
+    /// parameter-independent, so losses are bitwise identical to the
+    /// sequential path at any depth and thread count.
     pub fn train_epoch<M: TemporalModel + ?Sized>(
         &self,
         model: &mut M,
@@ -151,6 +184,7 @@ impl Trainer {
         let params = model.parameters();
         let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
         health.begin_epoch(&params);
+        tgl_obs::gauge!("pipeline.depth").set(self.pipeline as f64);
         let start = CpuTimer::start();
         // Container region (traced + flight recorder only, no phase
         // accumulation): gives the critical-path analyzer the
@@ -159,38 +193,68 @@ impl Trainer {
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
         let mut seen = 0usize;
-        for range in Split::batches(&split.train, self.cfg.batch_size) {
-            let _step = tgl_obs::histogram!("step.latency_ns").timer();
-            let _step_region = tgl_obs::region("step");
-            let mut batch = TBatch::new(g.clone(), range);
-            batch.set_negatives(negs.draw(batch.len()));
-            opt.zero_grad();
-            let loss = {
-                let _fwd = tgl_obs::region("forward");
-                let (pos, neg) = model.forward(ctx, &batch);
-                link_loss(&pos, &neg)
-            };
-            let loss_v = loss.item();
-            seen += 1;
-            if !health.check_loss(epoch, seen - 1, loss_v) {
-                // Poisoned batch: backpropagating a non-finite loss
-                // would corrupt the parameters. Skip it (the event is
-                // already recorded) but still drop stale caches.
-                ctx.clear_caches();
-                continue;
+        if self.pipeline == 0 {
+            for range in Split::batches(&split.train, self.cfg.batch_size) {
+                let _step = tgl_obs::histogram!("step.latency_ns").timer();
+                let _step_region = tgl_obs::region("step");
+                let mut batch = TBatch::new(g.clone(), range);
+                batch.set_negatives(negs.draw(batch.len()));
+                if let Some(loss) = Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
+                {
+                    total_loss += loss;
+                    batches += 1;
+                }
+                seen += 1;
             }
-            total_loss += loss_v as f64;
-            batches += 1;
-            {
-                let _b = tglite::prof::scope("backward");
-                loss.backward();
-            }
-            {
-                let _o = tglite::prof::scope("opt_step");
-                opt.step();
-            }
-            // Parameter updates invalidate memoized embeddings.
-            ctx.clear_caches();
+        } else {
+            let spec = model.sampling_spec();
+            let ranges: Vec<std::ops::Range<usize>> =
+                Split::batches(&split.train, self.cfg.batch_size).collect();
+            let (tx, rx) = tgl_runtime::channel::bounded::<TBatch>(self.pipeline);
+            std::thread::scope(|scope| {
+                // Moved into this closure so a compute-stage panic
+                // drops the receiver during unwind, waking a sampler
+                // blocked on the full queue before the scope joins it.
+                let rx = rx;
+                let g_sampler = g.clone();
+                scope.spawn(move || {
+                    let mut negs = negs;
+                    for range in ranges {
+                        let prefetch = tgl_obs::region("prefetch");
+                        let mut batch = TBatch::new(g_sampler.clone(), range);
+                        batch.set_negatives(negs.draw(batch.len()));
+                        if let Some(spec) = &spec {
+                            let plan = tglite::plan::build_plan(ctx, &batch, spec);
+                            batch.set_plan(std::sync::Arc::new(plan));
+                        }
+                        drop(prefetch);
+                        tgl_obs::histogram!("pipeline.queue.occupancy").record(tx.len() as u64);
+                        let _wait = tgl_obs::histogram!("pipeline.queue.send_wait_ns").timer();
+                        if tx.send(batch).is_err() {
+                            // The compute stage died (panic); stop
+                            // prefetching so its unwind can proceed.
+                            break;
+                        }
+                    }
+                });
+                loop {
+                    let batch = {
+                        let _wait = tgl_obs::histogram!("pipeline.queue.recv_wait_ns").timer();
+                        match rx.recv() {
+                            Ok(b) => b,
+                            Err(_) => break, // closed + drained
+                        }
+                    };
+                    let _step = tgl_obs::histogram!("step.latency_ns").timer();
+                    let _step_region = tgl_obs::region("step");
+                    if let Some(loss) = Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
+                    {
+                        total_loss += loss;
+                        batches += 1;
+                    }
+                    seen += 1;
+                }
+            });
         }
         let train_time_s = start.elapsed_s();
         let mean_loss = total_loss / batches.max(1) as f64;
@@ -204,9 +268,58 @@ impl Trainer {
         }
     }
 
+    /// One compute-stage step: forward, loss, health check, backward,
+    /// optimizer update, cache invalidation. Shared verbatim by the
+    /// sequential and pipelined paths so both run the identical
+    /// floating-point sequence; all parameter and cache mutation
+    /// happens here, on the calling (compute) thread, in batch order.
+    ///
+    /// Returns the loss when the step applied, or `None` when the
+    /// health monitor skipped a poisoned batch.
+    fn train_step<M: TemporalModel + ?Sized>(
+        model: &mut M,
+        ctx: &TContext,
+        opt: &mut Adam,
+        health: &mut HealthMonitor,
+        epoch: usize,
+        step_idx: usize,
+        batch: &TBatch,
+    ) -> Option<f64> {
+        opt.zero_grad();
+        let loss = {
+            let _fwd = tgl_obs::region("forward");
+            let (pos, neg) = model.forward(ctx, batch);
+            link_loss(&pos, &neg)
+        };
+        let loss_v = loss.item();
+        if !health.check_loss(epoch, step_idx, loss_v) {
+            // Poisoned batch: backpropagating a non-finite loss would
+            // corrupt the parameters. Skip it (the event is already
+            // recorded) but still drop stale caches. Queued prefetched
+            // batches stay valid — their plans never depend on the
+            // parameters this skip protects.
+            ctx.clear_caches();
+            return None;
+        }
+        {
+            let _b = tglite::prof::scope("backward");
+            loss.backward();
+        }
+        {
+            let _o = tglite::prof::scope("opt_step");
+            opt.step();
+        }
+        // Parameter updates invalidate memoized embeddings.
+        ctx.clear_caches();
+        Some(loss_v as f64)
+    }
+
     /// Runs inference over an edge range, returning `(AP, seconds)`.
     /// Memory-based models keep advancing their state (the standard
-    /// chronological evaluation protocol).
+    /// chronological evaluation protocol). The pipelined trainer
+    /// shares this path unchanged: evaluation mutates the context's
+    /// embedding caches, so it always runs sequentially on the compute
+    /// thread.
     pub fn evaluate<M: TemporalModel + ?Sized>(
         &self,
         model: &mut M,
@@ -217,8 +330,9 @@ impl Trainer {
         let mut negs = NegativeSampler::new(self.neg_lo, self.neg_hi, self.cfg.seed ^ 0xE7A1_5EED);
         let g = ctx.graph().clone();
         let start = CpuTimer::start();
-        let mut all_pos: Vec<f32> = Vec::new();
-        let mut all_neg: Vec<f32> = Vec::new();
+        // One positive and one negative score per edge in the range.
+        let mut all_pos: Vec<f32> = Vec::with_capacity(range.len());
+        let mut all_neg: Vec<f32> = Vec::with_capacity(range.len());
         {
             let _eval_region = tgl_obs::region("eval");
             let _guard = no_grad();
@@ -369,6 +483,40 @@ mod tests {
         assert!(stats.loss.is_finite());
         assert!(stats.train_time_s > 0.0);
         assert!((0.0..=1.0).contains(&stats.val_ap));
+    }
+
+    #[test]
+    fn pipelined_epoch_matches_sequential_bitwise() {
+        let run = |depth: usize| -> Vec<(u32, u64)> {
+            let (ctx, split, spec) = tiny_setup();
+            let mut model = Tgat::new(&ctx, ModelConfig::tiny(), OptFlags::all(), 3);
+            let trainer = Trainer::new(
+                TrainConfig {
+                    batch_size: 50,
+                    epochs: 2,
+                    lr: 1e-3,
+                    seed: 7,
+                },
+                spec.n_src as u32,
+                spec.num_nodes() as u32,
+            )
+            .with_pipeline(depth);
+            let mut opt = Adam::new(model.parameters(), 1e-3);
+            (0..2)
+                .map(|e| {
+                    let s = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, e);
+                    (s.loss.to_bits(), s.val_ap.to_bits())
+                })
+                .collect()
+        };
+        let sequential = run(0);
+        for depth in [1, 3] {
+            assert_eq!(
+                sequential,
+                run(depth),
+                "pipeline depth {depth} diverged from the sequential reference"
+            );
+        }
     }
 
     #[test]

@@ -150,6 +150,17 @@ pub trait TemporalModel {
     /// node state as a side effect (raw-message mailbox discipline).
     fn forward(&mut self, ctx: &TContext, batch: &TBatch) -> (Tensor, Tensor);
 
+    /// The training-mode sampling/staging recipe, if this model's
+    /// chain construction is a pure function of the batch (no
+    /// parameter- or state-dependent sampling). The pipelined trainer
+    /// uses it to prefetch batch N+1 on a sampler stage; `None` (the
+    /// default) limits prefetching to negative draws — memory-based
+    /// models read mutable node state during chain construction, so
+    /// their sampling cannot safely run ahead of the optimizer.
+    fn sampling_spec(&self) -> Option<tglite::plan::SamplingSpec> {
+        None
+    }
+
     /// Resets model-held graph state (memory/mailbox) for a new epoch.
     fn reset_state(&self, ctx: &TContext) {
         ctx.graph().reset_state();

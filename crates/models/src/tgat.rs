@@ -57,14 +57,28 @@ impl Tgat {
     }
 
     /// Computes time-aware embeddings for the batch's head block.
+    ///
+    /// When the batch carries a prefetch plan (pipelined training),
+    /// the chain is rebuilt by replaying the plan — dedup, sampling,
+    /// and feature staging already happened on the sampler stage —
+    /// instead of recomputing them here. The replay is bitwise
+    /// identical to the inline construction (see `tglite::plan`).
     pub fn embeddings(&self, ctx: &TContext, batch: &TBatch) -> Tensor {
-        let _prep = tglite::prof::scope("prep_batch");
+        let plan = if self.training { batch.plan() } else { None };
+        // The prep_batch phase fired on the sampler stage when a plan
+        // was built there; the cheap rebuild here stays unscoped so
+        // the phase breakdown counts that work once.
+        let prep = plan.is_none().then(|| tglite::prof::scope("prep_batch"));
         let head = batch.block(ctx);
-        drop(_prep);
+        drop(prep);
         let mut tail = head.clone();
         for i in 0..self.cfg.n_layers {
             if i > 0 {
                 tail = tail.next_block();
+            }
+            if let Some(plan) = plan {
+                plan.apply_layer(i, &tail);
+                continue;
             }
             if self.opts.dedup {
                 op::dedup(&tail);
@@ -75,7 +89,7 @@ impl Tgat {
             let _s = tglite::prof::scope("sample");
             self.sampler.sample(&tail);
         }
-        if self.opts.preload_pinned {
+        if self.opts.preload_pinned && plan.is_none() {
             let _p = tglite::prof::scope("preload");
             op::preload(ctx, &head, true);
         }
@@ -108,6 +122,15 @@ impl TemporalModel for Tgat {
     fn forward(&mut self, ctx: &TContext, batch: &TBatch) -> (Tensor, Tensor) {
         let embs = self.embeddings(ctx, batch);
         score_embeddings(&self.predictor, &embs, batch.len())
+    }
+
+    fn sampling_spec(&self) -> Option<tglite::plan::SamplingSpec> {
+        Some(tglite::plan::SamplingSpec {
+            n_layers: self.cfg.n_layers,
+            dedup: self.opts.dedup,
+            preload_pinned: self.opts.preload_pinned,
+            sampler: self.sampler.engine().clone(),
+        })
     }
 }
 
@@ -155,6 +178,31 @@ mod tests {
         assert!(hits > 0, "expected cache hits on repeat inference");
         for (a, b) in p1b.to_vec().iter().zip(p2b.to_vec()) {
             assert!((a - b).abs() < 1e-4, "cached logits drift: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn plan_driven_forward_is_bitwise_identical() {
+        // Replaying a prefetch plan (pipelined training) must produce
+        // the exact logits the inline chain construction produces.
+        let g = small_graph(5);
+        for opts in [OptFlags::none(), OptFlags::all()] {
+            let ctx_a = ctx_for(&g);
+            let ctx_b = ctx_for(&g);
+            let mut inline = Tgat::new(&ctx_a, ModelConfig::tiny(), opts, 11);
+            let mut planned = Tgat::new(&ctx_b, ModelConfig::tiny(), opts, 11);
+            let batch = batch_with_negs(&g, 30..70, 2);
+            let (p1, n1) = inline.forward(&ctx_a, &batch);
+            let mut staged = batch.clone();
+            let spec = planned.sampling_spec().expect("TGAT is plan-aware");
+            let plan = tglite::plan::build_plan(&ctx_b, &staged, &spec);
+            staged.set_plan(std::sync::Arc::new(plan));
+            let (p2, n2) = planned.forward(&ctx_b, &staged);
+            let bits = |t: &tglite::tensor::Tensor| -> Vec<u32> {
+                t.to_vec().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(&p1), bits(&p2), "pos logits drift (opts {opts:?})");
+            assert_eq!(bits(&n1), bits(&n2), "neg logits drift (opts {opts:?})");
         }
     }
 

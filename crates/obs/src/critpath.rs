@@ -79,7 +79,9 @@ pub fn classify(name: &str) -> Stage {
         return Stage::Backward;
     }
     match base {
-        "sample" | "dedup" | "time_zero" | "time_nbrs" => Stage::Sample,
+        // "prefetch" is the pipelined trainer's sampler-stage
+        // container; its self time is plan assembly + negative draws.
+        "sample" | "dedup" | "time_zero" | "time_nbrs" | "prefetch" => Stage::Sample,
         "feature_load" | "preload" | "prep_batch" => Stage::Transfer,
         "opt_step" => Stage::Opt,
         "step" | "epoch" | "eval" | "forward" => Stage::Other,
@@ -514,6 +516,7 @@ mod tests {
     fn classifies_known_span_names() {
         assert_eq!(classify("sample"), Stage::Sample);
         assert_eq!(classify("dedup"), Stage::Sample);
+        assert_eq!(classify("prefetch"), Stage::Sample);
         assert_eq!(classify("feature_load"), Stage::Transfer);
         assert_eq!(classify("transfer_to[accel]"), Stage::Transfer);
         assert_eq!(classify("attention"), Stage::Forward);

@@ -17,6 +17,9 @@
 //! * [`sync`]: thin wrappers over `std::sync` locks with a
 //!   panic-poisoning-free API (`lock()` / `read()` / `write()` return
 //!   guards directly).
+//! * [`channel`]: bounded MPSC channels with blocking send/recv,
+//!   backpressure, and a close/drain protocol — the stage connectors
+//!   for the pipelined trainer.
 //!
 //! # Determinism contract
 //!
@@ -28,10 +31,12 @@
 //! input only (never of the thread count) and combine per-chunk partials
 //! in chunk order, so their rounding is also thread-count invariant.
 
+pub mod channel;
 pub mod pool;
 pub mod rng;
 pub mod sync;
 
+pub use channel::{bounded, Receiver, Sender};
 pub use pool::{
     current_threads, parallel_for, parallel_for_chunks, set_threads, UnsafeSlice,
 };

@@ -29,6 +29,11 @@
 //! kernel contract: `exact` (default) is bitwise identical to the
 //! scalar reference kernels, `fast` enables the FMA/vector-exp SIMD
 //! paths with tolerance-level differences.
+//! `--pipeline <N>` (or `TGL_PIPELINE`) turns on the pipelined
+//! trainer: a sampler stage prefetches up to N batches (negative
+//! draws, neighbor sampling, transfer staging) ahead of the compute
+//! stage over a bounded channel; 0 (the default) is the sequential
+//! reference, and losses are bitwise identical at any depth.
 
 use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
 use tgl_device::{Device, TransferModel};
@@ -145,7 +150,7 @@ fn main() {
     // 4. Chronological 70/15/15 split and the training loop, with an
     //    optional run reporter snapshotting phases + counters per epoch.
     let split = Split::standard(&graph);
-    let trainer = Trainer::new(
+    let mut trainer = Trainer::new(
         TrainConfig {
             batch_size: 200,
             epochs,
@@ -155,6 +160,15 @@ fn main() {
         spec.n_src as u32,
         spec.num_nodes() as u32,
     );
+    // `--pipeline N` overlaps sampling/staging with compute over a
+    // bounded channel of depth N; losses stay bitwise identical to the
+    // sequential default (depth 0).
+    if let Some(depth) = arg_value("--pipeline") {
+        trainer = trainer.with_pipeline(depth.parse().expect("--pipeline"));
+    }
+    if trainer.pipeline_depth() > 0 {
+        println!("pipeline: sampler stage prefetching up to {} batches", trainer.pipeline_depth());
+    }
     let mut reporter = (show_prof || profiling || metrics_out.is_some() || serving.is_some()).then(|| {
         let mut rep = RunReporter::start();
         rep.set_meta("model", "TGAT");

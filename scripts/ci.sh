@@ -80,10 +80,22 @@ done
 grep -q "overlap efficiency" "$CP_LOG" \
     || { echo "critpath table missing overlap efficiency"; cat "$CP_LOG"; exit 1; }
 
+echo "==> pipelined trainer smoke (--pipeline 2, overlap via critpath)"
+PIPE_LOG="$OBS_DIR/pipeline.log"
+TGL_THREADS=2 ./target/release/quickstart \
+    --scale 8 --epochs 1 --pipeline 2 --critpath >"$PIPE_LOG" 2>&1 \
+    || { cat "$PIPE_LOG"; exit 1; }
+grep -q "pipeline: sampler stage prefetching up to 2 batches" "$PIPE_LOG" \
+    || { echo "quickstart did not enable the pipeline"; cat "$PIPE_LOG"; exit 1; }
+# The sampler stage must actually run concurrently with compute: the
+# critpath table's sample/transfer rows need nonzero overlap columns.
+awk '$1=="sample" {s=$4+0} $1=="transfer" {t=$4+0} END {exit !(s>0 || t>0)}' "$PIPE_LOG" \
+    || { echo "pipelined run shows no overlapped sample/transfer time"; cat "$PIPE_LOG"; exit 1; }
+
 echo "==> live /metrics exposition + scrape check"
 QS_LOG="$OBS_DIR/serve.log"
 TGL_THREADS=2 ./target/release/quickstart \
-    --scale 16 --epochs 1 --move \
+    --scale 16 --epochs 1 --move --pipeline 2 \
     --serve-metrics 127.0.0.1:0 --serve-hold >"$QS_LOG" 2>&1 &
 QS_PID=$!
 # Scrape only once training is done and the server is in its hold
@@ -99,7 +111,10 @@ if [ -z "$ADDR" ] || ! grep -q "holding for scrape" "$QS_LOG"; then
     kill "$QS_PID" 2>/dev/null || true
     exit 1
 fi
-./target/release/tgl promcheck "$ADDR" --min-hist 5 --quit \
+# The pipelined run must expose its depth gauge and queue telemetry.
+./target/release/tgl promcheck "$ADDR" --min-hist 5 \
+    --require tgl_pipeline_depth,tgl_pipeline_queue_occupancy,tgl_pipeline_queue_send_wait_ns,tgl_pipeline_queue_recv_wait_ns \
+    --quit \
     || { cat "$QS_LOG"; kill "$QS_PID" 2>/dev/null || true; exit 1; }
 wait "$QS_PID"
 
@@ -110,6 +125,12 @@ cargo bench --offline -q -p tgl-bench --bench alloc_churn
 echo "==> observability overhead guard (counters, histograms, gauges, profiler sites)"
 cargo bench --offline -q -p tgl-bench --bench obs_overhead
 ./target/release/tgl jsoncheck BENCH_obs.json
+
+echo "==> pipelined-vs-sequential epoch walls (bitwise loss guard)"
+cargo bench --offline -q -p tgl-bench --bench pipeline
+./target/release/tgl jsoncheck BENCH_pipeline.json
+grep -q '"bitwise_identical": true' BENCH_pipeline.json \
+    || { echo "BENCH_pipeline.json missing bitwise-identity marker"; exit 1; }
 
 echo "==> micro-op + GEMM series (exact/fast kernel modes, thread scaling)"
 cargo bench --offline -q -p tgl-bench --bench micro_ops
