@@ -68,6 +68,9 @@ fn main() {
         op::dedup(&blk);
         blk_sampler.sample(&blk);
         tgl_obs::gauge!("bench.block_len").set(sample.len() as f64);
+        // The per-step time-series push the trainer plants on the loss
+        // path: disabled it must be one relaxed load + branch.
+        tgl_obs::timeseries::record("bench.workload_loss", sample.len() as f64);
         sample.len()
     };
 
@@ -82,6 +85,7 @@ fn main() {
         obs::trace::enable(false);
         obs::profile::enable(false);
         obs::flight::enable(false);
+        obs::timeseries::enable(false);
         off.push(time_it(workload, 0.15));
 
         obs::metrics::set_enabled(true);
@@ -89,8 +93,10 @@ fn main() {
         obs::trace::enable(true);
         obs::profile::enable(true);
         obs::flight::enable(true);
+        obs::timeseries::enable(true);
         on.push(time_it(workload, 0.15));
         // Drain so the trace/profile sinks cannot grow across rounds.
+        // (The time-series ring is retention-bounded and needs none.)
         obs::trace::take();
         prof::take();
         obs::profile::take();
@@ -100,6 +106,7 @@ fn main() {
     obs::trace::enable(false);
     obs::profile::enable(false);
     obs::flight::enable(false);
+    obs::timeseries::enable(false);
 
     let off_med = median(off);
     let on_med = median(on);
@@ -112,8 +119,8 @@ fn main() {
 
     // The ≤2% acceptance criterion applies to *disabled* observability.
     // Sites stay compiled in either way, so "disabled" here means all
-    // five enable gates (metrics, phases, trace, op profiler, flight
-    // recorder) off; the budget is 2% relative plus 5us
+    // six enable gates (metrics, phases, trace, op profiler, flight
+    // recorder, time-series store) off; the budget is 2% relative plus 5us
     // absolute slack for single-core scheduler noise on a workload of
     // hundreds of microseconds.
     let budget = off_med * 1.02 + 5e-6;
@@ -246,6 +253,67 @@ fn main() {
     };
     obs::flight::enable(false);
     obs::metrics::set_enabled(true);
+    // The time-series record path the trainer plants per step, and the
+    // sampler/alert evaluation the telemetry hook runs each step.
+    // Disabled, a record site is one relaxed load + branch; enabled it
+    // is a mutex-guarded ring push. The tick/eval paths only ever run
+    // gated on the same flag, so they are measured enabled-only, at
+    // steady state (ring full, rules installed, no new transitions).
+    let ts_path = || {
+        for i in 0..SITES {
+            tgl_obs::timeseries::record("bench.micro_series", i as f64);
+        }
+        SITES
+    };
+    obs::timeseries::enable(false);
+    let ts_off_ns = {
+        let med = median((0..5).map(|_| time_it(ts_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::timeseries::enable(true);
+    let ts_on_ns = {
+        let med = median((0..5).map(|_| time_it(ts_path, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    const TICKS: usize = 10_000;
+    let tick_path = || {
+        for _ in 0..TICKS {
+            tgl_obs::timeseries::sample_tick();
+        }
+        TICKS
+    };
+    let tick_ns = {
+        let med = median((0..5).map(|_| time_it(tick_path, 0.1)).collect());
+        med / TICKS as f64 * 1e9
+    };
+    tgl_obs::alert::install(
+        tgl_obs::alert::RuleSet::parse(
+            "[bench-divergence]\nmetric = bench.micro_series\nwindow = 8\nfor = 2\n\
+             severity = info\nabove = 1e12\n\
+             [bench-nonfinite]\nmetric = bench.micro_series\nnonfinite = true\nseverity = info",
+        )
+        .expect("bench rules parse"),
+    );
+    let eval_path = || {
+        for _ in 0..TICKS {
+            tgl_obs::alert::evaluate();
+        }
+        TICKS
+    };
+    let alert_eval_ns = {
+        let med = median((0..5).map(|_| time_it(eval_path, 0.1)).collect());
+        med / TICKS as f64 * 1e9
+    };
+    tgl_obs::alert::clear();
+    // With no rules installed the evaluate() call on the step path is
+    // one relaxed load — the cost every un-SLO'd run pays.
+    let alert_idle_ns = {
+        let med = median((0..5).map(|_| time_it(eval_path, 0.1)).collect());
+        med / TICKS as f64 * 1e9
+    };
+    let live_series = obs::timeseries::snapshot().len();
+    obs::timeseries::enable(false);
+    obs::timeseries::reset();
     println!(
         "  hist.record:  {hist_off_ns:>6.2} ns/site disabled, {hist_on_ns:>6.2} ns/site enabled"
     );
@@ -258,6 +326,13 @@ fn main() {
     println!(
         "  span:         {span_off_ns:>6.2} ns/site all-off, {span_flight_ns:>6.2} ns/site flight-on"
     );
+    println!(
+        "  ts.record:    {ts_off_ns:>6.2} ns/site disabled, {ts_on_ns:>6.2} ns/site enabled"
+    );
+    println!("  ts.sample_tick: {tick_ns:>7.1} ns/tick enabled ({live_series} series live)");
+    println!(
+        "  alert.evaluate: {alert_eval_ns:>7.1} ns/eval (2 rules), {alert_idle_ns:>6.2} ns/eval uninstalled"
+    );
 
     let json = format!(
         "{{\n  \"host_cpus\": {},\n  \"workload\": {{\n    \"disabled\": {{\"wall_s\": {:.9}}},\n    \
@@ -267,7 +342,10 @@ fn main() {
          \"hist_record_disabled\": {:.2},\n    \"hist_record_enabled\": {:.2},\n    \
          \"gauge_set_disabled\": {:.2},\n    \"gauge_set_enabled\": {:.2},\n    \
          \"profile_op_disabled\": {:.2},\n    \"profile_op_enabled\": {:.2},\n    \
-         \"span_all_off\": {:.2},\n    \"span_flight_on\": {:.2}\n  }}\n}}\n",
+         \"span_all_off\": {:.2},\n    \"span_flight_on\": {:.2},\n    \
+         \"ts_record_disabled\": {:.2},\n    \"ts_record_enabled\": {:.2},\n    \
+         \"ts_sample_tick\": {:.1},\n    \"alert_evaluate\": {:.1},\n    \
+         \"alert_evaluate_uninstalled\": {:.2}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         off_med,
         on_med,
@@ -283,6 +361,11 @@ fn main() {
         prof_on_ns,
         span_off_ns,
         span_flight_ns,
+        ts_off_ns,
+        ts_on_ns,
+        tick_ns,
+        alert_eval_ns,
+        alert_idle_ns,
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
     match std::fs::write(&path, &json) {

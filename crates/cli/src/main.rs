@@ -12,6 +12,7 @@
 
 mod args;
 mod promcheck;
+mod schema;
 mod trend;
 
 use std::sync::Arc;
@@ -35,7 +36,9 @@ SUBCOMMANDS:
     eval       inference-only run over the test split
     generate   write a synthetic dataset's edge list as CSV
     stats      print a dataset's structural statistics
-    jsoncheck  parse a JSON file and exit nonzero if malformed;
+    jsoncheck  parse a JSON file and exit nonzero if malformed; known
+               schemas (tgl-timeseries/v1, tgl-alerts/v1) also get
+               shape-validated against their contract;
                with --trend --old <PATH> [--budget <PCT>] also compare
                wall-time series against an older copy and fail on
                regressions beyond the budget (default 25%)
@@ -43,6 +46,10 @@ SUBCOMMANDS:
                [--min-hist <N>] [--require <NAME[,NAME...]>] [--quit]`)
                and validate the Prometheus exposition; --require fails
                unless every named family appears in the scrape
+    get        fetch one path from a live metrics server and print the
+               body (`tgl get <ADDR> <PATH>`, e.g. `tgl get
+               127.0.0.1:9184 /timeseries.json`); exits nonzero unless
+               the response is HTTP 200
 
 OBSERVABILITY OPTIONS (train/eval):
     --prof               print the per-phase epoch breakdown (Fig. 7)
@@ -72,9 +79,19 @@ OBSERVABILITY OPTIONS (train/eval):
                          phases, counters, latency histograms, health,
                          critpath section when tracing is on)
     --serve-metrics <ADDR>  serve /metrics, /healthz, /report.json,
-                         /profile.json, /critpath.json, /flight.json
+                         /profile.json, /critpath.json, /flight.json,
+                         /timeseries.json, /alerts.json, /dashboard
                          and /quit over HTTP while the run executes
-                         (e.g. 127.0.0.1:0; also via TGL_METRICS_ADDR)
+                         (e.g. 127.0.0.1:0; also via TGL_METRICS_ADDR);
+                         enables time-series retention and a background
+                         sampler so /dashboard stays live between steps
+    --slo <PATH>         load SLO alert rules (INI sections with metric,
+                         window, for, severity, and above/below/trend/
+                         nonfinite/pegged conditions), enable the
+                         time-series store, and evaluate the rules each
+                         training step; firings route through --health
+                         and are summarized at end of run (also via
+                         TGL_SLO)
     --serve-hold         after the run, keep serving until GET /quit
                          (or a 10-minute timeout)
     --health <off|warn|fail>  non-finite loss/gradient policy: warn
@@ -124,6 +141,7 @@ fn main() {
         "stats" => stats_cmd(&args),
         "jsoncheck" => jsoncheck_cmd(&args),
         "promcheck" => promcheck_cmd(&args),
+        "get" => get_cmd(&args),
         other => {
             eprintln!("unknown subcommand {other:?}\n");
             print!("{HELP}");
@@ -216,6 +234,33 @@ fn train(args: &Args, eval_only: bool) {
             println!("metrics server listening on http://{bound}/metrics");
         })
     };
+    // SLO alert rules: install before the run so the first step already
+    // evaluates them; installing implies the time-series store.
+    let slo_path = args
+        .get("slo")
+        .map(String::from)
+        .or_else(|| std::env::var("TGL_SLO").ok().filter(|p| !p.is_empty()));
+    if let Some(path) = &slo_path {
+        match tgl_obs::alert::RuleSet::from_file(std::path::Path::new(path)) {
+            Ok(rules) => {
+                let n = rules.rules.len();
+                tgl_obs::alert::install(rules);
+                tgl_obs::timeseries::enable(true);
+                println!("slo: loaded {n} alert rule(s) from {path}");
+            }
+            Err(e) => {
+                eprintln!("--slo {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if serving.is_some() {
+        // A live /dashboard needs retained series even without --slo,
+        // and a background sampler so gauges and latency quantiles keep
+        // advancing between scrapes once the training loop is done.
+        tgl_obs::timeseries::enable(true);
+        tgl_obs::timeseries::start_sampler(500);
+    }
     if let Some(n) = args.get("threads") {
         let n: usize = n.parse().unwrap_or_else(|_| {
             eprintln!("--threads: cannot parse {n:?}");
@@ -424,9 +469,49 @@ fn train(args: &Args, eval_only: bool) {
         }
     }
     tgl_device::set_transfer_model(TransferModel::disabled());
+    if tgl_obs::alert::installed() {
+        for st in tgl_obs::alert::status() {
+            println!(
+                "alert {}: fired {}x on {} ({})",
+                st.rule.name,
+                st.fired_total,
+                st.rule.metric,
+                if st.firing { "firing" } else { "ok" }
+            );
+        }
+    }
     if serving.is_some() && args.has_flag("serve-hold") {
         println!("holding for scrape: GET /quit to release (10 min timeout)");
         tgl_obs::expo::wait_for_quit(std::time::Duration::from_secs(600));
+    }
+    tgl_obs::timeseries::stop_sampler();
+}
+
+fn get_cmd(args: &Args) {
+    // Accept `--addr <ADDR> --path <PATH>` or the positional form
+    // `tgl get <ADDR> <PATH>` (positionals arrive concatenated, so the
+    // first '/' splits address from path).
+    let (addr, path) = match (args.get("addr"), args.get("path")) {
+        (Some(a), p) => (a.to_string(), p.unwrap_or("/").to_string()),
+        (None, _) => {
+            let extra = args.get("_extra").unwrap_or_else(|| {
+                eprintln!("usage: tgl get <ADDR> <PATH>  (e.g. tgl get 127.0.0.1:9184 /metrics)");
+                std::process::exit(2);
+            });
+            match extra.find('/') {
+                Some(i) => (extra[..i].to_string(), extra[i..].to_string()),
+                None => (extra.to_string(), "/".to_string()),
+            }
+        }
+    };
+    let (code, body) = tgl_obs::expo::http_get(&addr, &path).unwrap_or_else(|e| {
+        eprintln!("{addr}{path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{body}");
+    if code != 200 {
+        eprintln!("{addr}{path}: HTTP {code}");
+        std::process::exit(1);
     }
 }
 
@@ -510,6 +595,16 @@ fn jsoncheck_cmd(args: &Args) {
             match tgl_data::Json::parse(&rendered) {
                 Ok(back) if back == v => {
                     println!("{path}: valid JSON ({} bytes)", text.len());
+                    // Artifacts that declare a known schema also get
+                    // their shape checked, not just their syntax.
+                    match schema::validate(&v) {
+                        Ok(Some(name)) => println!("{path}: schema {name} ok"),
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("{path}: schema violation: {e}");
+                            std::process::exit(1);
+                        }
+                    }
                     v
                 }
                 _ => {

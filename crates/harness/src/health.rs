@@ -191,6 +191,33 @@ impl HealthMonitor {
         false
     }
 
+    /// Routes alert-engine transitions through the policy. The alert
+    /// engine already recorded each transition as a health event (and
+    /// mirrored it into the flight recorder); this decides whether the
+    /// run continues: under [`HealthPolicy::Fail`] a newly *fired*
+    /// fail-severity alert dumps the flight recorder and panics, same
+    /// as a tripped NaN sentinel. Resolves and lower severities never
+    /// stop a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`HealthPolicy::Fail`] when a fail-severity alert
+    /// fires.
+    pub fn route_alerts(&mut self, transitions: &[tgl_obs::alert::Firing]) {
+        if self.policy == HealthPolicy::Off {
+            return;
+        }
+        for t in transitions.iter().filter(|t| t.firing) {
+            if self.policy == HealthPolicy::Fail && t.severity == Level::Fail {
+                crate::flightdump::dump("alert-fail");
+                panic!(
+                    "health: alert {} fired on {} (value {} at idx {}) (TGL_HEALTH=fail)",
+                    t.rule, t.metric, t.value, t.idx
+                );
+            }
+        }
+    }
+
     /// Closes the epoch: publishes `health.grad_norm`,
     /// `health.update_ratio`, `health.loss`, and `health.loss_trend`
     /// gauges and records events for non-finite gradients or
@@ -320,6 +347,48 @@ mod tests {
         // point it at a temp dir so the test leaves no file behind.
         std::env::set_var("TGL_FLIGHT_DIR", std::env::temp_dir());
         HealthMonitor::new(HealthPolicy::Fail).check_loss(1, 2, f32::NAN);
+    }
+
+    #[test]
+    fn alert_routing_respects_policy() {
+        let firing = tgl_obs::alert::Firing {
+            rule: "loss-divergence".into(),
+            metric: "train.loss".into(),
+            severity: Level::Fail,
+            firing: true,
+            idx: 7,
+            value: f64::NAN,
+        };
+        // Warn logs but keeps running; Off ignores entirely; a resolve
+        // never stops a run even under Fail.
+        HealthMonitor::new(HealthPolicy::Warn).route_alerts(std::slice::from_ref(&firing));
+        HealthMonitor::new(HealthPolicy::Off).route_alerts(std::slice::from_ref(&firing));
+        let resolved = tgl_obs::alert::Firing {
+            firing: false,
+            ..firing.clone()
+        };
+        HealthMonitor::new(HealthPolicy::Fail).route_alerts(&[resolved]);
+        // A warn-severity firing survives the Fail policy too.
+        let warn_sev = tgl_obs::alert::Firing {
+            severity: Level::Warn,
+            ..firing
+        };
+        HealthMonitor::new(HealthPolicy::Fail).route_alerts(&[warn_sev]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alert loss-divergence fired")]
+    fn fail_policy_panics_on_fail_severity_firing() {
+        std::env::set_var("TGL_FLIGHT_DIR", std::env::temp_dir());
+        let firing = tgl_obs::alert::Firing {
+            rule: "loss-divergence".into(),
+            metric: "train.loss".into(),
+            severity: Level::Fail,
+            firing: true,
+            idx: 7,
+            value: f64::INFINITY,
+        };
+        HealthMonitor::new(HealthPolicy::Fail).route_alerts(&[firing]);
     }
 
     #[test]

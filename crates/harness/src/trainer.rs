@@ -195,16 +195,20 @@ impl Trainer {
         let mut seen = 0usize;
         if self.pipeline == 0 {
             for range in Split::batches(&split.train, self.cfg.batch_size) {
-                let _step = tgl_obs::histogram!("step.latency_ns").timer();
-                let _step_region = tgl_obs::region("step");
-                let mut batch = TBatch::new(g.clone(), range);
-                batch.set_negatives(negs.draw(batch.len()));
-                if let Some(loss) = Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
                 {
-                    total_loss += loss;
-                    batches += 1;
+                    let _step = tgl_obs::histogram!("step.latency_ns").timer();
+                    let _step_region = tgl_obs::region("step");
+                    let mut batch = TBatch::new(g.clone(), range);
+                    batch.set_negatives(negs.draw(batch.len()));
+                    if let Some(loss) =
+                        Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
+                    {
+                        total_loss += loss;
+                        batches += 1;
+                    }
+                    seen += 1;
                 }
-                seen += 1;
+                Self::step_telemetry(&mut health);
             }
         } else {
             let spec = model.sampling_spec();
@@ -245,14 +249,18 @@ impl Trainer {
                             Err(_) => break, // closed + drained
                         }
                     };
-                    let _step = tgl_obs::histogram!("step.latency_ns").timer();
-                    let _step_region = tgl_obs::region("step");
-                    if let Some(loss) = Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
                     {
-                        total_loss += loss;
-                        batches += 1;
+                        let _step = tgl_obs::histogram!("step.latency_ns").timer();
+                        let _step_region = tgl_obs::region("step");
+                        if let Some(loss) =
+                            Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
+                        {
+                            total_loss += loss;
+                            batches += 1;
+                        }
+                        seen += 1;
                     }
-                    seen += 1;
+                    Self::step_telemetry(&mut health);
                 }
             });
         }
@@ -261,10 +269,36 @@ impl Trainer {
         health.end_epoch(epoch, &params, mean_loss);
         drop(health);
         let (val_ap, _) = self.evaluate(model, ctx, split.val.clone());
+        // Epoch-granularity series + one more sampling/alert pass so
+        // rules on `val.ap` (and end-of-epoch gauges) evaluate without
+        // waiting for the next epoch's first step.
+        if tgl_obs::timeseries::enabled() {
+            tgl_obs::timeseries::record("val.ap", val_ap);
+            let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+            Self::step_telemetry(&mut health);
+        }
         EpochStats {
             loss: mean_loss as f32,
             train_time_s,
             val_ap,
+        }
+    }
+
+    /// Per-step telemetry hook: one time-series sampling pass plus an
+    /// alert-rule evaluation, with transitions routed through the
+    /// health policy. Runs on the compute thread after every step in
+    /// both trainer paths, so the sampling cadence — and therefore the
+    /// alert firing sequence — is a pure function of step count,
+    /// independent of thread count and pipeline depth. One relaxed
+    /// load when the time-series store is disabled (the default).
+    fn step_telemetry(health: &mut HealthMonitor) {
+        if !tgl_obs::timeseries::enabled() {
+            return;
+        }
+        tgl_obs::timeseries::sample_tick();
+        let fired = tgl_obs::alert::evaluate();
+        if !fired.is_empty() {
+            health.route_alerts(&fired);
         }
     }
 
@@ -292,6 +326,10 @@ impl Trainer {
             link_loss(&pos, &neg)
         };
         let loss_v = loss.item();
+        // The raw per-step loss — NaN included — lands in the
+        // time-series *before* the health check, so SLO rules see the
+        // poisoned point even when the batch below is skipped.
+        tgl_obs::timeseries::record("train.loss", f64::from(loss_v));
         if !health.check_loss(epoch, step_idx, loss_v) {
             // Poisoned batch: backpropagating a non-finite loss would
             // corrupt the parameters. Skip it (the event is already

@@ -20,6 +20,13 @@
 //!   while tracing is off).
 //! * `GET /flight.json` — a `tgl-flight/v1` dump of the flight
 //!   recorder's recent-event rings, on demand.
+//! * `GET /timeseries.json` — the retained telemetry store as a
+//!   `tgl-timeseries/v1` artifact (see [`crate::timeseries`]).
+//! * `GET /alerts.json` — installed SLO rules, their firing state, and
+//!   the transition history as `tgl-alerts/v1` (see [`crate::alert`]).
+//! * `GET /dashboard` — a self-contained live HTML dashboard (inline
+//!   JS + SVG sparklines, zero external assets; see
+//!   [`crate::dashboard`]).
 //! * `GET /quit` — releases [`wait_for_quit`] so a driver script can
 //!   scrape a short-lived process deterministically and then let it
 //!   exit.
@@ -27,11 +34,16 @@
 //! The server is deliberately minimal: HTTP/1.0 semantics, one request
 //! per connection, everything rendered from atomics at request time. It
 //! never writes to any metric, so scraping cannot perturb a run beyond
-//! the snapshot loads themselves.
+//! the snapshot loads themselves. Accepted connections are dispatched
+//! to a small worker pool ([`WORKERS`] threads per listener) so one
+//! slow render — a big `/dashboard` or `/timeseries.json` body — never
+//! blocks a concurrent `/healthz` liveness probe.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::{health, hist, metrics};
@@ -225,6 +237,26 @@ fn handle(mut stream: TcpStream) {
                 "{\"error\":\"no report published yet\"}\n",
             ),
         },
+        "/timeseries.json" | "/timeseries" => {
+            let body = crate::timeseries::to_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/alerts.json" | "/alerts" => {
+            let body = crate::alert::to_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/dashboard" => {
+            let delay = TEST_RENDER_DELAY_MS.load(Ordering::Relaxed);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/html; charset=utf-8",
+                crate::dashboard::html(),
+            );
+        }
         "/quit" => {
             respond(&mut stream, "200 OK", "text/plain", "bye\n");
             signal_quit();
@@ -233,15 +265,29 @@ fn handle(mut stream: TcpStream) {
             &mut stream,
             "200 OK",
             "text/plain",
-            "tgl metrics server: /metrics /healthz /report.json /profile.json /critpath.json /flight.json /quit\n",
+            "tgl metrics server: /metrics /healthz /report.json /profile.json /critpath.json /flight.json /timeseries.json /alerts.json /dashboard /quit\n",
         ),
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
 }
 
+/// Artificial delay injected into `/dashboard` rendering, in
+/// milliseconds. Test-only hook: the parallel-scrape test uses it to
+/// prove a slow render on one worker never blocks `/healthz` on
+/// another.
+#[doc(hidden)]
+pub static TEST_RENDER_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Request-handling worker threads per listener. Small on purpose:
+/// scrape traffic is a handful of concurrent clients, and the workers
+/// only read atomics — the pool exists so one slow response cannot
+/// serialize a liveness probe behind it, not for throughput.
+pub const WORKERS: usize = 4;
+
 /// Binds `addr` (e.g. `127.0.0.1:0`) and serves the exposition
-/// endpoints from a detached background thread for the life of the
-/// process. Returns the bound address (useful with port 0).
+/// endpoints for the life of the process: one accept thread feeding a
+/// bounded hand-off queue drained by [`WORKERS`] handler threads.
+/// Returns the bound address (useful with port 0).
 ///
 /// # Errors
 ///
@@ -249,12 +295,44 @@ fn handle(mut stream: TcpStream) {
 pub fn start(addr: &str) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
+    type Queue = (Mutex<VecDeque<TcpStream>>, Condvar);
+    let queue: Arc<Queue> = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    for i in 0..WORKERS {
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name(format!("tgl-metrics-worker-{i}"))
+            .spawn(move || loop {
+                let stream = {
+                    let (lock, cv) = &*queue;
+                    let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(s) = q.pop_front() {
+                            break s;
+                        }
+                        q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                handle(stream);
+            })
+            .expect("spawn metrics worker thread");
+    }
     std::thread::Builder::new()
         .name("tgl-metrics-server".into())
         .spawn(move || {
             for stream in listener.incoming() {
                 match stream {
-                    Ok(s) => handle(s),
+                    Ok(s) => {
+                        let (lock, cv) = &*queue;
+                        let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        // Bound the backlog: beyond it, shed the oldest
+                        // waiting connection (its client sees a reset)
+                        // rather than queueing without limit.
+                        if q.len() >= WORKERS * 16 {
+                            q.pop_front();
+                        }
+                        q.push_back(s);
+                        cv.notify_one();
+                    }
                     Err(_) => continue,
                 }
             }
@@ -373,9 +451,46 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("tgl-run-report"));
 
+        let (code, body) = http_get(&addr, "/timeseries.json").expect("scrape timeseries");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-timeseries/v1\""));
+
+        let (code, body) = http_get(&addr, "/alerts.json").expect("scrape alerts");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-alerts/v1\""));
+
+        let (code, body) = http_get(&addr, "/dashboard").expect("scrape dashboard");
+        assert_eq!(code, 200);
+        assert!(body.starts_with("<!DOCTYPE html>"));
+        assert!(body.contains("</html>"));
+
         assert!(!wait_for_quit(Duration::from_millis(1)));
         let (code, _) = http_get(&addr, "/quit").expect("quit");
         assert_eq!(code, 200);
         assert!(wait_for_quit(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn slow_dashboard_render_does_not_block_healthz() {
+        let addr = start("127.0.0.1:0").expect("bind").to_string();
+        TEST_RENDER_DELAY_MS.store(800, Ordering::Relaxed);
+        let slow = {
+            let addr = addr.clone();
+            std::thread::spawn(move || http_get(&addr, "/dashboard").expect("slow dashboard"))
+        };
+        // Give the slow request time to occupy its worker.
+        std::thread::sleep(Duration::from_millis(100));
+        let t0 = std::time::Instant::now();
+        let (code, _) = http_get(&addr, "/healthz").expect("healthz during slow render");
+        let elapsed = t0.elapsed();
+        TEST_RENDER_DELAY_MS.store(0, Ordering::Relaxed);
+        assert!(code == 200 || code == 503);
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "/healthz waited {elapsed:?} behind a slow /dashboard render"
+        );
+        let (code, body) = slow.join().expect("join slow scrape");
+        assert_eq!(code, 200);
+        assert!(body.contains("</html>"));
     }
 }

@@ -237,7 +237,7 @@ fn collect() -> (Vec<Event>, u64, usize) {
     (events, total, rings.len())
 }
 
-fn esc(s: &str, out: &mut String) {
+pub(crate) fn esc(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -318,6 +318,39 @@ pub fn to_json(reason: &str) -> String {
         esc(name, &mut out);
         let _ = write!(out, "\": {value}");
     }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in crate::hist::gauge_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        esc(name, &mut out);
+        out.push_str("\": ");
+        crate::timeseries::json_num(*value, &mut out);
+    }
+    // The trajectory into the failure: the last few points of every
+    // retained series, so a post-mortem shows how loss/latency/queue
+    // state was moving, not just where it ended.
+    out.push_str("\n  },\n  \"timeseries\": {");
+    let series = crate::timeseries::snapshot();
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        esc(s.name, &mut out);
+        out.push_str("\": [");
+        let tail = s.points.len().saturating_sub(TIMESERIES_TAIL);
+        for (j, &(idx, value)) in s.points[tail..].iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{idx}, ");
+            crate::timeseries::json_num(value, &mut out);
+            out.push(']');
+        }
+        out.push(']');
+    }
     out.push_str("\n  },\n  \"health\": {");
     let worst = crate::health::worst();
     let _ = write!(
@@ -329,6 +362,9 @@ pub fn to_json(reason: &str) -> String {
     );
     out
 }
+
+/// Points per series carried in a flight dump's `timeseries` section.
+const TIMESERIES_TAIL: usize = 32;
 
 /// Wall-clock ms of the most recent [`dump_to_dir`] (0 = never).
 static LAST_DUMP: AtomicU64 = AtomicU64::new(0);
@@ -422,6 +458,22 @@ mod tests {
         enable(true);
         let json = to_json("test");
         assert!(!json.contains("flight-test-disabled"));
+    }
+
+    #[test]
+    fn dump_carries_gauges_and_timeseries_trajectory() {
+        let _g = serial();
+        enable(true);
+        crate::metrics::set_enabled(true);
+        crate::hist::gauge("flight.test.level").set(3.5);
+        crate::timeseries::enable(true);
+        crate::timeseries::record("flight.test.series", 0.25);
+        let json = to_json("test");
+        assert!(json.contains("\"gauges\": {"));
+        assert!(json.contains("\"flight.test.level\": 3.5"));
+        assert!(json.contains("\"timeseries\": {"));
+        assert!(json.contains("\"flight.test.series\": ["));
+        crate::timeseries::enable(false);
     }
 
     #[test]

@@ -41,8 +41,10 @@
 //!
 //! * [`expo`] — a std-only (`std::net::TcpListener`) HTTP server
 //!   exposing `/metrics` (Prometheus text format), `/healthz`,
-//!   `/report.json`, `/critpath.json`, and `/flight.json` for live
-//!   scraping of a running process.
+//!   `/report.json`, `/critpath.json`, `/flight.json`,
+//!   `/timeseries.json`, `/alerts.json`, and the live [`dashboard`]
+//!   page for scraping a running process; requests are handled by a
+//!   small worker pool so a slow render never blocks `/healthz`.
 //!
 //! * [`flight`] — an always-on flight recorder: fixed-size per-thread
 //!   rings of the most recent spans and health events, dumped as a
@@ -51,6 +53,21 @@
 //! * [`critpath`] — critical-path analysis over tracer spans: per-stage
 //!   serial vs overlapped time, the critical path itself, and overlap
 //!   efficiency (the acceptance instrument for pipelined training).
+//!
+//! * [`timeseries`] — a retained ring-buffer store over the metric
+//!   registries: per-step (or background-cadence) samples of every
+//!   counter (delta-encoded), gauge, and histogram p50/p99, plus pushed
+//!   series like `train.loss`, with thread-count-invariant snapshots
+//!   exported as `tgl-timeseries/v1`.
+//!
+//! * [`alert`] — declarative SLO rules (`above`/`below`/`trend`/
+//!   `nonfinite`/`pegged` with window + `for_n_samples` hysteresis)
+//!   evaluated on the store; firings route through [`health`], land in
+//!   flight dumps, and export as `tgl-alerts/v1`.
+//!
+//! * [`dashboard`] — the `/dashboard` HTML page: inline-JS SVG
+//!   sparklines over `/timeseries.json`, alert banner, health badge,
+//!   zero external assets.
 //!
 //! A single [`span`] guard feeds all sinks: phase aggregation when
 //! profiling is enabled, span events when tracing is enabled, and the
@@ -73,7 +90,9 @@
 //! assert!(tgl_obs::metrics::get("demo.hits") >= 3);
 //! ```
 
+pub mod alert;
 pub mod critpath;
+pub mod dashboard;
 pub mod expo;
 pub mod flight;
 pub mod health;
@@ -82,6 +101,7 @@ pub mod intern;
 pub mod metrics;
 pub mod phase;
 pub mod profile;
+pub mod timeseries;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU32, Ordering};

@@ -1,0 +1,593 @@
+//! Retained telemetry time-series: a lock-light ring-buffer store over
+//! the counter / gauge / histogram registries.
+//!
+//! `/metrics` and `/report.json` are point-in-time snapshots — latency
+//! drift, loss plateaus, and throughput regressions are invisible in
+//! them until a human diffs artifacts. This module keeps *history*:
+//! every registered counter (delta-encoded per sample), gauge (raw),
+//! and histogram (p50/p99 quantile series) is sampled into a fixed-size
+//! ring per series, either from the harness's per-step hook
+//! ([`sample_tick`]) or from a background sampler thread
+//! ([`start_sampler`]) while a live server holds the process open.
+//! Subsystems can also push values directly ([`record`] — the trainer
+//! records `train.loss` per step and `val.ap` per epoch), which is what
+//! the SLO rules in [`alert`](crate::alert) evaluate against.
+//!
+//! # Determinism contract
+//!
+//! Each point is `(idx, value)` where `idx` is the series' own
+//! monotonic sequence number — no wall clock is stored per point, so a
+//! series built from deterministic inputs is **bitwise identical at any
+//! thread count and pipeline depth**. That covers pushed series
+//! (`train.loss`, `val.ap`) and counter-delta series of the
+//! work counters when sampling is driven per step. Timing series
+//! (`*_ns` quantiles, per-worker `pool.busy_ns.tN` deltas) measure wall
+//! time and are exempt, exactly like the rest of the repo's
+//! thread-count-invariance contract. The background sampler adds
+//! wall-clock-cadenced points for live serving; determinism-sensitive
+//! runs simply don't start it (the per-step hook needs no thread).
+//!
+//! Counter series are *primed* on first observation (the first sample
+//! records no point, only the baseline), so every stored point is a
+//! true per-interval delta rather than a lifetime total.
+//!
+//! Disabled (the default) the [`record`] / [`sample_tick`] sites cost
+//! one relaxed atomic load — they stay inside the repo's 2% disabled
+//! observability budget (see the `obs_overhead` bench). Enable with
+//! [`enable`], `TGL_TIMESERIES=on`, or implicitly via `--slo` /
+//! `--serve-metrics` in the CLI and quickstart. Retention defaults to
+//! [`DEFAULT_RETAIN`] points per series (`TGL_TS_RETAIN` overrides).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default points retained per series.
+pub const DEFAULT_RETAIN: usize = 512;
+
+/// 0 = uninitialized (consult `TGL_TIMESERIES`), 1 = on, 2 = off.
+static STATE: AtomicU32 = AtomicU32::new(0);
+
+#[cold]
+fn init_state() -> u32 {
+    let on = matches!(
+        std::env::var("TGL_TIMESERIES").as_deref(),
+        Ok("on") | Ok("1") | Ok("ON")
+    );
+    let s = if on { 1 } else { 2 };
+    STATE.store(s, Ordering::Relaxed);
+    s
+}
+
+/// Whether the store records anything. First call reads
+/// `TGL_TIMESERIES` (default off); after that a single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == 0 {
+        return init_state() == 1;
+    }
+    s == 1
+}
+
+/// Force the store on or off, overriding `TGL_TIMESERIES`.
+pub fn enable(on: bool) {
+    STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+static RETAIN: AtomicUsize = AtomicUsize::new(0);
+
+/// Points retained per series (`TGL_TS_RETAIN`, default
+/// [`DEFAULT_RETAIN`]).
+pub fn retain() -> usize {
+    match RETAIN.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("TGL_TS_RETAIN")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_RETAIN);
+            RETAIN.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the retention (smallest useful value is 2 — trend rules
+/// need at least a window).
+pub fn set_retain(n: usize) {
+    RETAIN.store(n.max(1), Ordering::Relaxed);
+}
+
+/// How a series gets its points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Pushed directly by an instrumentation site ([`record`]).
+    Push,
+    /// Per-sample delta of a monotonic counter.
+    CounterDelta,
+    /// Raw gauge value at each sample.
+    Gauge,
+    /// A histogram quantile at each sample (`<hist>.p50` / `<hist>.p99`).
+    Quantile,
+}
+
+impl Kind {
+    /// Lowercase label used in the JSON artifact.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Push => "push",
+            Kind::CounterDelta => "counter-delta",
+            Kind::Gauge => "gauge",
+            Kind::Quantile => "quantile",
+        }
+    }
+}
+
+struct SeriesData {
+    /// Points ever appended (`points` keeps the last `retain()`).
+    total: u64,
+    /// Last observed raw counter value (counter-delta series only).
+    last_raw: u64,
+    /// True once `last_raw` holds a real observation.
+    primed: bool,
+    points: VecDeque<(u64, f64)>,
+}
+
+/// One named series: a fixed-retention ring of `(idx, value)` points.
+/// Instances live for the life of the process (leaked, like the
+/// counter/histogram registries).
+pub struct Series {
+    name: &'static str,
+    kind: Kind,
+    data: Mutex<SeriesData>,
+}
+
+impl Series {
+    fn new(name: &'static str, kind: Kind) -> Series {
+        Series {
+            name,
+            kind,
+            data: Mutex::new(SeriesData {
+                total: 0,
+                last_raw: 0,
+                primed: false,
+                points: VecDeque::with_capacity(retain().min(64)),
+            }),
+        }
+    }
+
+    /// The series' registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The series' kind.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// Appends one point (always records; the global gate is checked by
+    /// the callers that sit on hot paths).
+    pub fn push(&self, value: f64) {
+        let cap = retain();
+        let mut d = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = d.total;
+        d.total += 1;
+        d.points.push_back((idx, value));
+        while d.points.len() > cap {
+            d.points.pop_front();
+        }
+    }
+
+    /// Observes a monotonic counter: records `value - last` as the
+    /// point and re-bases. The first observation only primes the
+    /// baseline (no point), so every stored point is a true interval
+    /// delta.
+    fn observe_counter(&self, value: u64) {
+        let cap = retain();
+        let mut d = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        if !d.primed {
+            d.primed = true;
+            d.last_raw = value;
+            return;
+        }
+        let delta = value.saturating_sub(d.last_raw);
+        d.last_raw = value;
+        let idx = d.total;
+        d.total += 1;
+        d.points.push_back((idx, delta as f64));
+        while d.points.len() > cap {
+            d.points.pop_front();
+        }
+    }
+
+    /// A consistent copy of the ring.
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        let d = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        SeriesSnapshot {
+            name: self.name,
+            kind: self.kind,
+            total: d.total,
+            points: d.points.iter().copied().collect(),
+        }
+    }
+
+    fn clear(&self) {
+        let mut d = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        d.total = 0;
+        d.last_raw = 0;
+        d.primed = false;
+        d.points.clear();
+    }
+}
+
+/// A point-in-time copy of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Series name.
+    pub name: &'static str,
+    /// Series kind.
+    pub kind: Kind,
+    /// Points ever appended (points older than the retention are gone).
+    pub total: u64,
+    /// Retained `(idx, value)` points in chronological order.
+    pub points: Vec<(u64, f64)>,
+}
+
+struct Store {
+    by_name: HashMap<&'static str, &'static Series>,
+    in_order: Vec<&'static Series>,
+    /// Histogram name → (p50 series, p99 series), so the sampler does
+    /// not rebuild quantile-series names every tick.
+    qcache: HashMap<&'static str, (&'static Series, &'static Series)>,
+}
+
+impl Store {
+    fn get_or_insert(&mut self, name: &'static str, kind: Kind) -> &'static Series {
+        if let Some(s) = self.by_name.get(name) {
+            return s;
+        }
+        let s: &'static Series = Box::leak(Box::new(Series::new(name, kind)));
+        self.by_name.insert(name, s);
+        self.in_order.push(s);
+        s
+    }
+
+    fn get_or_insert_owned(&mut self, name: String, kind: Kind) -> &'static Series {
+        if let Some(s) = self.by_name.get(name.as_str()) {
+            return s;
+        }
+        let leaked: &'static str = Box::leak(name.into_boxed_str());
+        self.get_or_insert(leaked, kind)
+    }
+}
+
+static STORE: std::sync::LazyLock<Mutex<Store>> = std::sync::LazyLock::new(|| {
+    Mutex::new(Store {
+        by_name: HashMap::new(),
+        in_order: Vec::new(),
+        qcache: HashMap::new(),
+    })
+});
+
+/// Samples taken ([`sample_tick`] calls) since process start / last
+/// [`reset`].
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the series registered under `name` (creating a `Push`
+/// series on first use). Prefer [`record`] at instrumentation sites.
+pub fn series(name: &'static str) -> &'static Series {
+    let mut store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    store.get_or_insert(name, Kind::Push)
+}
+
+/// Appends one point to the push series `name`. No-op (one relaxed
+/// load) while the store is disabled. Non-finite values are stored as
+/// recorded — a NaN loss *is* the signal the `nonfinite` alert rules
+/// look for — and render as `null` in the JSON artifact.
+#[inline]
+pub fn record(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    series(name).push(value);
+}
+
+/// One sampling pass over every registered counter (delta), gauge
+/// (raw), and non-empty histogram (p50/p99 quantile series). No-op
+/// while disabled. Called per training step by the harness and on a
+/// wall-clock cadence by the background sampler.
+pub fn sample_tick() {
+    if !enabled() {
+        return;
+    }
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    for (name, value) in crate::metrics::snapshot() {
+        let s = {
+            let mut store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+            store.get_or_insert(name, Kind::CounterDelta)
+        };
+        s.observe_counter(value);
+    }
+    for (name, value) in crate::hist::gauge_snapshot() {
+        let s = {
+            let mut store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+            store.get_or_insert(name, Kind::Gauge)
+        };
+        s.push(value);
+    }
+    for (name, snap) in crate::hist::hist_snapshot() {
+        if snap.is_empty() {
+            continue;
+        }
+        let (p50, p99) = {
+            let mut store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+            match store.qcache.get(name) {
+                Some(&pair) => pair,
+                None => {
+                    let p50 = store.get_or_insert_owned(format!("{name}.p50"), Kind::Quantile);
+                    let p99 = store.get_or_insert_owned(format!("{name}.p99"), Kind::Quantile);
+                    store.qcache.insert(name, (p50, p99));
+                    (p50, p99)
+                }
+            }
+        };
+        p50.push(snap.quantile(0.5));
+        p99.push(snap.quantile(0.99));
+    }
+}
+
+/// Number of sampling passes taken.
+pub fn ticks() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+/// Snapshot of the named series, if it exists.
+pub fn get(name: &str) -> Option<SeriesSnapshot> {
+    let store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    store.by_name.get(name).map(|s| s.snapshot())
+}
+
+/// Snapshot of every series, sorted by name for stable output.
+pub fn snapshot() -> Vec<SeriesSnapshot> {
+    let store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut v: Vec<_> = store.in_order.iter().map(|s| s.snapshot()).collect();
+    v.sort_unstable_by_key(|s| s.name);
+    v
+}
+
+/// Clears every series' data and the tick counter. Registrations
+/// persist (handles stay valid); counter baselines re-prime on the
+/// next sample.
+pub fn reset() {
+    let store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    for s in store.in_order.iter() {
+        s.clear();
+    }
+    TICKS.store(0, Ordering::Relaxed);
+}
+
+/// Writes `v` as a JSON number, or `null` when non-finite (matching
+/// `tgl_data::Json::render` so the artifact always re-parses).
+pub(crate) fn json_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 9.0e15 {
+            let _ = write!(out, "{}", v as i64);
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders the whole store as a `tgl-timeseries/v1` artifact (the
+/// `/timeseries.json` endpoint body).
+pub fn to_json() -> String {
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let all = snapshot();
+    let mut out = String::with_capacity(16 * 1024);
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"tgl-timeseries/v1\",\n  \"unix_ms\": {unix_ms},\n  \"retain\": {},\n  \"ticks\": {},\n  \"series\": [",
+        retain(),
+        ticks()
+    );
+    for (i, s) in all.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": \"");
+        crate::flight::esc(s.name, &mut out);
+        let _ = write!(
+            out,
+            "\", \"kind\": \"{}\", \"total\": {}, \"points\": [",
+            s.kind.label(),
+            s.total
+        );
+        for (j, &(idx, value)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{idx}, ");
+            json_num(value, &mut out);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Background sampler thread (live serving)
+
+static SAMPLER_RUNNING: AtomicBool = AtomicBool::new(false);
+
+/// Starts (at most one) background sampler thread calling
+/// [`sample_tick`] every `period_ms` milliseconds while the store is
+/// enabled — keeps `/timeseries.json` and `/dashboard` moving during
+/// long phases (evaluation, serve-hold) when no per-step hook runs.
+/// Returns `false` when a sampler is already running.
+///
+/// Determinism-sensitive runs should rely on the per-step hook alone:
+/// the background cadence adds wall-clock-timed points to the sampled
+/// series (pushed series are unaffected).
+pub fn start_sampler(period_ms: u64) -> bool {
+    if SAMPLER_RUNNING.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    let period = std::time::Duration::from_millis(period_ms.max(10));
+    std::thread::Builder::new()
+        .name("tgl-ts-sampler".into())
+        .spawn(move || {
+            while SAMPLER_RUNNING.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if SAMPLER_RUNNING.load(Ordering::Relaxed) {
+                    sample_tick();
+                }
+            }
+        })
+        .map(|_| true)
+        .unwrap_or_else(|_| {
+            SAMPLER_RUNNING.store(false, Ordering::SeqCst);
+            false
+        })
+}
+
+/// Asks the background sampler to stop after its current sleep.
+pub fn stop_sampler() {
+    SAMPLER_RUNNING.store(false, Ordering::SeqCst);
+}
+
+/// Whether a background sampler thread is live.
+pub fn sampler_running() -> bool {
+    SAMPLER_RUNNING.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::serial;
+
+    #[test]
+    fn disabled_store_records_nothing() {
+        let _g = serial();
+        enable(false);
+        record("ts.test.gated", 1.0);
+        assert!(get("ts.test.gated").is_none_or(|s| s.points.is_empty()));
+        enable(true);
+        record("ts.test.gated", 2.0);
+        let s = get("ts.test.gated").unwrap();
+        assert_eq!(s.points.last(), Some(&(s.total - 1, 2.0)));
+        enable(false);
+    }
+
+    #[test]
+    fn push_series_keeps_idx_value_order_and_retention() {
+        let _g = serial();
+        enable(true);
+        set_retain(8);
+        let s = series("ts.test.ring");
+        s.clear();
+        for i in 0..20u64 {
+            s.push(i as f64);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.total, 20);
+        assert_eq!(snap.points.len(), 8);
+        assert_eq!(snap.points.first(), Some(&(12, 12.0)));
+        assert_eq!(snap.points.last(), Some(&(19, 19.0)));
+        assert!(snap.points.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        set_retain(DEFAULT_RETAIN);
+        enable(false);
+    }
+
+    #[test]
+    fn counter_series_are_primed_then_delta_encoded() {
+        let _g = serial();
+        enable(true);
+        let c = crate::metrics::counter("ts.test.counter");
+        c.add(5);
+        sample_tick(); // primes the baseline, no point
+        c.add(3);
+        sample_tick();
+        c.add(7);
+        sample_tick();
+        let snap = get("ts.test.counter").unwrap();
+        assert_eq!(snap.kind, Kind::CounterDelta);
+        let vals: Vec<f64> = snap.points.iter().rev().take(2).rev().map(|p| p.1).collect();
+        assert_eq!(vals, vec![3.0, 7.0]);
+        enable(false);
+    }
+
+    #[test]
+    fn sample_tick_covers_gauges_and_hist_quantiles() {
+        let _g = serial();
+        enable(true);
+        // Gauge writes go through the metrics enable gate.
+        crate::metrics::set_enabled(true);
+        crate::hist::gauge("ts.test.level").set(2.5);
+        crate::hist::histogram("ts.test.lat_ns").record_always(1000);
+        sample_tick();
+        let g = get("ts.test.level").unwrap();
+        assert_eq!(g.kind, Kind::Gauge);
+        assert_eq!(g.points.last().map(|p| p.1), Some(2.5));
+        let p99 = get("ts.test.lat_ns.p99").unwrap();
+        assert_eq!(p99.kind, Kind::Quantile);
+        assert!(p99.points.last().map(|p| p.1).unwrap() > 0.0);
+        enable(false);
+    }
+
+    #[test]
+    fn json_artifact_renders_nan_as_null_and_has_schema() {
+        let _g = serial();
+        enable(true);
+        let s = series("ts.test.nan");
+        s.clear();
+        s.push(1.0);
+        s.push(f64::NAN);
+        let json = to_json();
+        assert!(json.contains("\"schema\": \"tgl-timeseries/v1\""));
+        assert!(json.contains("\"name\": \"ts.test.nan\""));
+        assert!(json.contains("null"));
+        assert!(!json.contains("NaN"));
+        enable(false);
+    }
+
+    #[test]
+    fn reset_clears_points_and_ticks_but_keeps_handles() {
+        let _g = serial();
+        enable(true);
+        let s = series("ts.test.reset");
+        s.push(1.0);
+        reset();
+        assert_eq!(ticks(), 0);
+        assert!(s.snapshot().points.is_empty());
+        s.push(2.0);
+        assert_eq!(s.snapshot().points, vec![(0, 2.0)]);
+        enable(false);
+    }
+
+    #[test]
+    fn sampler_thread_starts_and_stops() {
+        let _g = serial();
+        enable(true);
+        assert!(start_sampler(10));
+        assert!(!start_sampler(10), "second sampler must be refused");
+        let t0 = ticks();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        assert!(ticks() > t0, "sampler took no ticks");
+        stop_sampler();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(!sampler_running() || !SAMPLER_RUNNING.load(Ordering::Relaxed));
+        enable(false);
+    }
+}

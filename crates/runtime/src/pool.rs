@@ -48,6 +48,7 @@ pub fn current_threads() -> usize {
             let n = configured_threads();
             // Racing initializers compute the same value.
             THREADS.store(n, Ordering::Relaxed);
+            tgl_obs::gauge!("pool.threads").set(n as f64);
             n
         }
         n => n,
@@ -59,7 +60,11 @@ pub fn current_threads() -> usize {
 /// surplus workers stay parked. Used by the determinism suite and the
 /// 1-vs-N benchmark sweeps; results do not depend on this setting.
 pub fn set_threads(n: usize) {
-    THREADS.store(n.max(1), Ordering::Relaxed);
+    let n = n.max(1);
+    THREADS.store(n, Ordering::Relaxed);
+    // Published as a gauge so live scrapes and the time-series store
+    // can correlate latency shifts with parallelism changes.
+    tgl_obs::gauge!("pool.threads").set(n as f64);
 }
 
 // ---------------------------------------------------------------------

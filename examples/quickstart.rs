@@ -21,10 +21,18 @@
 //! the `tgl-critpath/v1` artifact), `--flight-out <PATH>` writes a
 //! flight-recorder dump (`--flight off` disables the always-on
 //! recorder), `--serve-metrics <ADDR>` serves live `/metrics`,
-//! `/healthz`, `/report.json`, `/critpath.json`, and `/flight.json`
-//! over HTTP while training (`--serve-hold` keeps serving until
-//! `GET /quit`), and `--move` exercises the CPU-to-GPU placement
-//! (per-batch metered transfers).
+//! `/healthz`, `/report.json`, `/critpath.json`, `/flight.json`,
+//! `/timeseries.json`, `/alerts.json`, and the live `/dashboard`
+//! page over HTTP while training (`--serve-hold` keeps serving until
+//! `GET /quit`; serving also enables the time-series store and a
+//! background sampler so the dashboard stays live), and `--move`
+//! exercises the CPU-to-GPU placement (per-batch metered transfers).
+//! `--slo <PATH>` (or `TGL_SLO`) loads SLO alert rules evaluated each
+//! training step against the retained series, with firings routed
+//! through the `--health <off|warn|fail>` policy (`TGL_HEALTH`) and
+//! summarized at end of run; `--lr <F>` overrides the Adam learning
+//! rate (handy for deliberately diverging a run to watch an alert
+//! fire).
 //! `--kernel <exact|fast>` (or `TGL_KERNEL`) selects the tensor
 //! kernel contract: `exact` (default) is bitwise identical to the
 //! scalar reference kernels, `fast` enables the FMA/vector-exp SIMD
@@ -57,6 +65,8 @@ fn arg_flag(name: &str) -> bool {
 fn main() {
     let scale: usize = arg_value("--scale").map_or(2, |v| v.parse().expect("--scale"));
     let epochs: usize = arg_value("--epochs").map_or(3, |v| v.parse().expect("--epochs"));
+    let custom_lr = arg_value("--lr");
+    let lr: f32 = custom_lr.as_deref().map_or(1e-3, |v| v.parse().expect("--lr"));
     let show_prof = arg_flag("--prof");
     let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
     let metrics_out = arg_value("--metrics-out").map(std::path::PathBuf::from);
@@ -84,6 +94,10 @@ fn main() {
     if profiling {
         tglite::obs::profile::enable(true);
     }
+    if let Some(policy) = arg_value("--health") {
+        // Through the environment so the trainer picks the policy up.
+        std::env::set_var("TGL_HEALTH", policy);
+    }
     let serving = if let Some(addr) = arg_value("--serve-metrics") {
         let bound = tglite::obs::expo::start(&addr).expect("--serve-metrics bind");
         println!("metrics server listening on http://{bound}/metrics");
@@ -93,6 +107,23 @@ fn main() {
             println!("metrics server listening on http://{bound}/metrics");
         })
     };
+    // SLO alert rules: installed before the first step; implies the
+    // time-series store the rules evaluate against.
+    let slo_path =
+        arg_value("--slo").or_else(|| std::env::var("TGL_SLO").ok().filter(|p| !p.is_empty()));
+    if let Some(path) = &slo_path {
+        let rules = tglite::obs::alert::RuleSet::from_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("--slo {path}: {e}"));
+        println!("slo: loaded {} alert rule(s) from {path}", rules.rules.len());
+        tglite::obs::alert::install(rules);
+        tglite::obs::timeseries::enable(true);
+    }
+    if serving.is_some() {
+        // The live /dashboard needs retained series and a background
+        // sampler so it keeps moving between (and after) train steps.
+        tglite::obs::timeseries::enable(true);
+        tglite::obs::timeseries::start_sampler(500);
+    }
 
     // 1. A continuous-time dynamic graph. Here: a synthetic stream
     //    shaped like the paper's Wiki dataset (bipartite user–page
@@ -154,7 +185,7 @@ fn main() {
         TrainConfig {
             batch_size: 200,
             epochs,
-            lr: 1e-3,
+            lr,
             seed: 0,
         },
         spec.n_src as u32,
@@ -176,7 +207,7 @@ fn main() {
         rep.set_meta_num("scale", scale as f64);
         rep
     });
-    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), 1e-3);
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), lr);
     let mut best_val = 0.0f64;
     for e in 0..epochs {
         let s = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, e);
@@ -250,15 +281,28 @@ fn main() {
         println!("flight dump written to {path}");
     }
 
-    // The learning signal needs the full-size stream and all epochs; a
-    // scaled-down quick run only checks the plumbing.
-    if scale <= 2 && epochs >= 3 && !host_resident {
+    // The learning signal needs the full-size stream, all epochs, and
+    // the default learning rate; a scaled-down quick run (or a
+    // deliberately diverged one) only checks the plumbing.
+    if scale <= 2 && epochs >= 3 && !host_resident && custom_lr.is_none() {
         assert!(test_ap > 0.5, "model should beat random");
     }
 
+    if tglite::obs::alert::installed() {
+        for st in tglite::obs::alert::status() {
+            println!(
+                "alert {}: fired {}x on {} ({})",
+                st.rule.name,
+                st.fired_total,
+                st.rule.metric,
+                if st.firing { "firing" } else { "ok" }
+            );
+        }
+    }
     if serving.is_some() && arg_flag("--serve-hold") {
         println!("holding for scrape: GET /quit to release (10 min timeout)");
         tglite::obs::expo::wait_for_quit(std::time::Duration::from_secs(600));
     }
+    tglite::obs::timeseries::stop_sampler();
     tgl_device::set_transfer_model(TransferModel::disabled());
 }

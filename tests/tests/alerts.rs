@@ -1,0 +1,196 @@
+//! Acceptance suite for the SLO alert engine on real training runs:
+//! an injected-regression run (absurd learning rate, warn policy) must
+//! fire the loss-trend rule deterministically, with the retained
+//! `train.loss` series and the alert transition log bitwise identical
+//! at 1 and 4 pool threads; and under the `fail` health policy a
+//! fail-severity firing must abort the run through the health monitor,
+//! leaving a flight dump that carries the series trajectory.
+//!
+//! Everything the alert engine touches is process-global (time-series
+//! store, rule engine, health log, thread pool), so every test holds a
+//! serial lock and restores default state on the way out.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tgl_data::{generate, DatasetKind, DatasetSpec, Split};
+use tgl_harness::{HealthPolicy, TrainConfig, Trainer};
+use tgl_models::{ModelConfig, OptFlags, TemporalModel, Tgat};
+use tgl_runtime::set_threads;
+use tglite::obs::{alert, timeseries};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One epoch of TGAT on a scaled-down Wiki stream with an injected
+/// regression: the learning rate is absurd, so the loss stops
+/// improving (or leaves the finite range entirely) within a few steps.
+fn diverged_epoch(threads: usize, lr: f32, policy: HealthPolicy, rules: &str) -> f32 {
+    set_threads(threads);
+    timeseries::enable(true);
+    timeseries::reset();
+    tglite::obs::health::reset();
+    alert::install(alert::RuleSet::parse(rules).expect("rules parse"));
+
+    let spec = DatasetSpec::of(DatasetKind::Wiki).scaled_down(8);
+    let (g, _) = generate(&spec);
+    let ctx = tglite::TContext::new(g.clone());
+    let mut model = Tgat::new(&ctx, ModelConfig::tiny(), OptFlags::all(), 42);
+    let mut opt = tglite::tensor::optim::Adam::new(model.parameters(), lr);
+    let split = Split::standard(&g);
+    let trainer = Trainer::new(
+        TrainConfig { batch_size: 100, epochs: 1, lr, seed: 0 },
+        spec.n_src as u32,
+        spec.num_nodes() as u32,
+    )
+    .with_health(policy);
+    let stats = trainer.train_epoch(&mut model, &ctx, &split, &mut opt, 0);
+    stats.loss
+}
+
+/// Bitwise view of a series snapshot (NaN-safe, unlike `==` on f64).
+fn bits(points: &[(u64, f64)]) -> Vec<(u64, u64)> {
+    points.iter().map(|&(i, v)| (i, v.to_bits())).collect()
+}
+
+fn transition_bits(t: &[alert::Firing]) -> Vec<(String, String, bool, u64, u64)> {
+    t.iter()
+        .map(|f| (f.rule.clone(), f.metric.clone(), f.firing, f.idx, f.value.to_bits()))
+        .collect()
+}
+
+const DIVERGENCE_RULES: &str = "
+[loss-divergence]
+metric = train.loss
+window = 4
+for = 2
+severity = warn
+trend = non-decreasing
+
+[loss-nonfinite]
+metric = train.loss
+window = 1
+for = 1
+severity = warn
+nonfinite = true
+";
+
+/// The headline acceptance: `--lr 1e18 --health warn` fires the
+/// loss-trend rule, and both the retained series and the transition
+/// log are bitwise identical at 1 and 4 threads.
+#[test]
+fn injected_regression_fires_trend_alert_identically_at_1_and_4_threads() {
+    let _g = serial();
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        diverged_epoch(threads, 1e18, HealthPolicy::Warn, DIVERGENCE_RULES);
+        let series = timeseries::get("train.loss").expect("train.loss series retained");
+        let status = alert::status();
+        let transitions = alert::transitions();
+        runs.push((series, status, transitions));
+    }
+    set_threads(1);
+    alert::clear();
+
+    let (s1, st1, t1) = &runs[0];
+    let (s4, st4, t4) = &runs[1];
+
+    // The injected regression must actually fire the trend rule.
+    let trend = st1
+        .iter()
+        .find(|s| s.rule.name == "loss-divergence")
+        .expect("trend rule status");
+    assert!(
+        trend.fired_total >= 1,
+        "loss-trend rule never fired on a lr=1e18 run (status {st1:?})"
+    );
+    assert!(
+        t1.iter().any(|f| f.rule == "loss-divergence" && f.firing),
+        "no firing transition for loss-divergence: {t1:?}"
+    );
+    // The NaN canary fires too — the loss leaves the finite range.
+    assert!(
+        t1.iter().any(|f| f.rule == "loss-nonfinite" && f.firing),
+        "no firing transition for loss-nonfinite: {t1:?}"
+    );
+
+    // Thread-count invariance, bitwise: same points, same transitions.
+    assert!(!s1.points.is_empty(), "train.loss retained no points");
+    assert_eq!(
+        bits(&s1.points),
+        bits(&s4.points),
+        "train.loss series differs between 1 and 4 threads"
+    );
+    assert_eq!(s1.total, s4.total);
+    assert_eq!(
+        transition_bits(t1),
+        transition_bits(t4),
+        "alert transitions differ between 1 and 4 threads"
+    );
+    for (a, b) in st1.iter().zip(st4.iter()) {
+        assert_eq!(a.rule.name, b.rule.name);
+        assert_eq!(a.fired_total, b.fired_total, "fired_total differs for {}", a.rule.name);
+        assert_eq!(a.firing, b.firing, "firing state differs for {}", a.rule.name);
+    }
+}
+
+/// Under `--health fail`, a fail-severity alert firing aborts the run
+/// through the health monitor — and the post-mortem flight dump lands
+/// on disk carrying the reason and the time-series trajectory.
+#[test]
+fn fail_policy_alert_aborts_run_and_leaves_flight_dump_with_series() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join(format!("tgl-alerts-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create flight dir");
+    std::env::set_var("TGL_FLIGHT_DIR", &dir);
+
+    // A large-but-finite learning rate: the loss explodes by orders of
+    // magnitude but never leaves the finite range, so the trainer's
+    // own non-finite check stays quiet and the abort can only come
+    // from the alert path (no hysteresis: the spike recovers, so a
+    // single breaching window is the whole signal).
+    let rules = "
+[loss-divergence]
+metric = train.loss
+window = 3
+for = 1
+severity = fail
+trend = non-decreasing
+";
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        diverged_epoch(1, 100.0, HealthPolicy::Fail, rules)
+    }));
+    alert::clear();
+    std::env::remove_var("TGL_FLIGHT_DIR");
+
+    let payload = result.expect_err("fail policy should abort the diverged run");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("alert loss-divergence fired"),
+        "panic message should name the alert, got {msg:?}"
+    );
+
+    let dump = std::fs::read_dir(&dir)
+        .expect("read flight dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("flight dump written on alert abort");
+    let text = std::fs::read_to_string(&dump).expect("read flight dump");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = tgl_data::Json::parse(&text).expect("flight dump is valid JSON");
+    assert_eq!(
+        doc.get("reason").and_then(tgl_data::Json::as_str),
+        Some("alert-fail")
+    );
+    let ts = doc.get("timeseries").expect("flight dump carries timeseries section");
+    assert!(
+        ts.get("train.loss").and_then(tgl_data::Json::as_arr).is_some_and(|a| !a.is_empty()),
+        "flight dump timeseries missing train.loss trajectory"
+    );
+}
