@@ -58,6 +58,10 @@ fn main() {
     let workload = || {
         let _s = prof::scope("obs-overhead-workload");
         let _lat = tgl_obs::histogram!("bench.workload_ns").timer();
+        // The per-batch insight bag the trainer installs: disabled,
+        // begin/flush are one relaxed load each and the observation
+        // sites inside sampler/dedup short-circuit the same way.
+        tgl_obs::insight::begin_batch();
         // A per-op profiler site, the kind every tensor kernel now
         // carries: disabled it must be one relaxed load.
         let _op = tgl_obs::profile::op("bench.workload_op")
@@ -71,6 +75,7 @@ fn main() {
         // The per-step time-series push the trainer plants on the loss
         // path: disabled it must be one relaxed load + branch.
         tgl_obs::timeseries::record("bench.workload_loss", sample.len() as f64);
+        tgl_obs::insight::flush_step();
         sample.len()
     };
 
@@ -86,6 +91,7 @@ fn main() {
         obs::profile::enable(false);
         obs::flight::enable(false);
         obs::timeseries::enable(false);
+        obs::insight::enable(false);
         off.push(time_it(workload, 0.15));
 
         obs::metrics::set_enabled(true);
@@ -94,6 +100,7 @@ fn main() {
         obs::profile::enable(true);
         obs::flight::enable(true);
         obs::timeseries::enable(true);
+        obs::insight::enable(true);
         on.push(time_it(workload, 0.15));
         // Drain so the trace/profile sinks cannot grow across rounds.
         // (The time-series ring is retention-bounded and needs none.)
@@ -107,6 +114,8 @@ fn main() {
     obs::profile::enable(false);
     obs::flight::enable(false);
     obs::timeseries::enable(false);
+    obs::insight::enable(false);
+    obs::insight::reset();
 
     let off_med = median(off);
     let on_med = median(on);
@@ -119,8 +128,8 @@ fn main() {
 
     // The ≤2% acceptance criterion applies to *disabled* observability.
     // Sites stay compiled in either way, so "disabled" here means all
-    // six enable gates (metrics, phases, trace, op profiler, flight
-    // recorder, time-series store) off; the budget is 2% relative plus 5us
+    // seven enable gates (metrics, phases, trace, op profiler, flight
+    // recorder, time-series store, insight) off; the budget is 2% relative plus 5us
     // absolute slack for single-core scheduler noise on a workload of
     // hundreds of microseconds.
     let budget = off_med * 1.02 + 5e-6;
@@ -314,6 +323,48 @@ fn main() {
     let live_series = obs::timeseries::snapshot().len();
     obs::timeseries::enable(false);
     obs::timeseries::reset();
+    // The insight observation sites the sampler/dedup/model paths now
+    // carry: disabled, one relaxed load; with a bag installed, a TLS
+    // borrow plus a few integer adds. The per-step flush (the one
+    // heavyweight moment — registry mutex + series pushes) is measured
+    // per step, since it runs once per batch, not per site.
+    let insight_site = || {
+        for i in 0..SITES {
+            tgl_obs::insight::observe_dedup(256, i as u64 & 0x3F);
+        }
+        SITES
+    };
+    obs::insight::enable(false);
+    let ins_off_ns = {
+        let med = median((0..5).map(|_| time_it(insight_site, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    obs::insight::enable(true);
+    tgl_obs::insight::begin_batch();
+    let ins_on_ns = {
+        let med = median((0..5).map(|_| time_it(insight_site, 0.1)).collect());
+        med / SITES as f64 * 1e9
+    };
+    tgl_obs::insight::take_batch();
+    obs::timeseries::enable(true);
+    let flush_path = || {
+        for i in 0..TICKS {
+            tgl_obs::insight::begin_batch();
+            tgl_obs::insight::observe_dedup(512, 128);
+            tgl_obs::insight::observe_neg_sampling(100, i as u64 % 100);
+            tgl_obs::insight::record_group("bench.group", 1.0, 2.0, 0.5);
+            tgl_obs::insight::flush_step();
+        }
+        TICKS
+    };
+    let ins_flush_ns = {
+        let med = median((0..5).map(|_| time_it(flush_path, 0.1)).collect());
+        med / TICKS as f64 * 1e9
+    };
+    obs::insight::enable(false);
+    obs::insight::reset();
+    obs::timeseries::enable(false);
+    obs::timeseries::reset();
     println!(
         "  hist.record:  {hist_off_ns:>6.2} ns/site disabled, {hist_on_ns:>6.2} ns/site enabled"
     );
@@ -333,6 +384,10 @@ fn main() {
     println!(
         "  alert.evaluate: {alert_eval_ns:>7.1} ns/eval (2 rules), {alert_idle_ns:>6.2} ns/eval uninstalled"
     );
+    println!(
+        "  insight.observe: {ins_off_ns:>5.2} ns/site disabled, {ins_on_ns:>6.2} ns/site bag installed"
+    );
+    println!("  insight.flush_step: {ins_flush_ns:>6.1} ns/step enabled");
 
     let json = format!(
         "{{\n  \"host_cpus\": {},\n  \"workload\": {{\n    \"disabled\": {{\"wall_s\": {:.9}}},\n    \
@@ -345,7 +400,9 @@ fn main() {
          \"span_all_off\": {:.2},\n    \"span_flight_on\": {:.2},\n    \
          \"ts_record_disabled\": {:.2},\n    \"ts_record_enabled\": {:.2},\n    \
          \"ts_sample_tick\": {:.1},\n    \"alert_evaluate\": {:.1},\n    \
-         \"alert_evaluate_uninstalled\": {:.2}\n  }}\n}}\n",
+         \"alert_evaluate_uninstalled\": {:.2},\n    \
+         \"insight_observe_disabled\": {:.2},\n    \"insight_observe_active\": {:.2},\n    \
+         \"insight_flush_step\": {:.1}\n  }}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         off_med,
         on_med,
@@ -366,6 +423,9 @@ fn main() {
         tick_ns,
         alert_eval_ns,
         alert_idle_ns,
+        ins_off_ns,
+        ins_on_ns,
+        ins_flush_ns,
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
     match std::fs::write(&path, &json) {

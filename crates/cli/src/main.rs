@@ -37,8 +37,9 @@ SUBCOMMANDS:
     generate   write a synthetic dataset's edge list as CSV
     stats      print a dataset's structural statistics
     jsoncheck  parse a JSON file and exit nonzero if malformed; known
-               schemas (tgl-timeseries/v1, tgl-alerts/v1) also get
-               shape-validated against their contract;
+               schemas (tgl-timeseries/v1, tgl-alerts/v1,
+               tgl-insight/v1) also get shape-validated against their
+               contract;
                with --trend --old <PATH> [--budget <PCT>] also compare
                wall-time series against an older copy and fail on
                regressions beyond the budget (default 25%)
@@ -70,6 +71,20 @@ OBSERVABILITY OPTIONS (train/eval):
                          busy/wait attribution
     --critpath-out <PATH>  write the analysis as a tgl-critpath/v1
                          JSON artifact (implies --critpath)
+    --insight            model & data introspection: per-parameter-group
+                         gradient/weight norms and update ratios,
+                         dead-activation fractions, memory staleness,
+                         neighbor time-delta spread, negative-sampling
+                         collisions, dedup effectiveness, and mailbox
+                         depth — printed as a per-layer table at end of
+                         run; series land in the time-series store
+                         (insight.*) so --slo rules can target them,
+                         and /insight.json serves them live (also via
+                         TGL_INSIGHT=1)
+    --insight-out <PATH> write the summaries as a tgl-insight/v1 JSON
+                         artifact (implies --insight)
+    --insight-top <N>    parameter-group rows in the --insight table
+                         (default 8)
     --flight <on|off>    flight recorder: always-on ring of recent
                          spans/health events dumped on panic or
                          health-fail (default on; also TGL_FLIGHT=off;
@@ -80,7 +95,8 @@ OBSERVABILITY OPTIONS (train/eval):
                          critpath section when tracing is on)
     --serve-metrics <ADDR>  serve /metrics, /healthz, /report.json,
                          /profile.json, /critpath.json, /flight.json,
-                         /timeseries.json, /alerts.json, /dashboard
+                         /timeseries.json, /alerts.json, /insight.json,
+                         /dashboard
                          and /quit over HTTP while the run executes
                          (e.g. 127.0.0.1:0; also via TGL_METRICS_ADDR);
                          enables time-series retention and a background
@@ -260,6 +276,14 @@ fn train(args: &Args, eval_only: bool) {
         // advancing between scrapes once the training loop is done.
         tgl_obs::timeseries::enable(true);
         tgl_obs::timeseries::start_sampler(500);
+    }
+    let insight_out = args.get("insight-out").map(std::path::PathBuf::from);
+    let insight = args.has_flag("insight") || insight_out.is_some();
+    if insight {
+        // Insight series flow through the time-series store, so the
+        // flag implies retention (same as --slo).
+        tgl_obs::insight::enable(true);
+        tgl_obs::timeseries::enable(true);
     }
     if let Some(n) = args.get("threads") {
         let n: usize = n.parse().unwrap_or_else(|_| {
@@ -456,6 +480,16 @@ fn train(args: &Args, eval_only: bool) {
     if let Some(path) = args.get("flight-out") {
         std::fs::write(path, tgl_obs::flight::to_json("request")).expect("write flight dump");
         println!("flight dump written to {path}");
+    }
+    if insight {
+        print!(
+            "{}",
+            tgl_obs::insight::render_table(args.get_or("insight-top", 8))
+        );
+        if let Some(path) = &insight_out {
+            std::fs::write(path, tgl_obs::insight::to_json()).expect("write insight artifact");
+            println!("insight artifact written to {}", path.display());
+        }
     }
 
     if let Some(path) = args.get("csv") {

@@ -22,6 +22,7 @@ pub fn validate(v: &Json) -> Result<Option<&'static str>, String> {
     match schema {
         "tgl-timeseries/v1" => timeseries(v).map(|()| Some("tgl-timeseries/v1")),
         "tgl-alerts/v1" => alerts(v).map(|()| Some("tgl-alerts/v1")),
+        "tgl-insight/v1" => insight(v).map(|()| Some("tgl-insight/v1")),
         _ => Ok(None),
     }
 }
@@ -130,6 +131,22 @@ fn alerts(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn insight(v: &Json) -> Result<(), String> {
+    num(v, "unix_ms")?;
+    num(v, "steps")?;
+    for (i, s) in arr(v, "stats")?.iter().enumerate() {
+        let name = string(s, "name").map_err(|e| format!("stats[{i}]: {e}"))?;
+        let ctx = |e| format!("stat {name:?}: {e}");
+        num(s, "count").map_err(ctx)?;
+        // Summary moments of a diverged layer are legitimately
+        // non-finite, which the writer renders as null.
+        for key in ["mean", "std", "min", "max", "last"] {
+            num_or_null(s, key).map_err(ctx)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +197,27 @@ mod tests {
 
         let missing = parse("{\"schema\": \"tgl-timeseries/v1\", \"unix_ms\": 1}");
         assert!(validate(&missing).unwrap_err().contains("retain"));
+    }
+
+    #[test]
+    fn valid_insight_passes_and_violations_are_named() {
+        let doc = parse(
+            "{\"schema\": \"tgl-insight/v1\", \"unix_ms\": 1, \"steps\": 12, \
+             \"stats\": [{\"name\": \"insight.layer.layer0.w_q.grad_norm\", \
+             \"count\": 12, \"mean\": 0.2, \"std\": 0.05, \"min\": 0.1, \
+             \"max\": null, \"last\": 0.3}]}",
+        );
+        assert_eq!(validate(&doc), Ok(Some("tgl-insight/v1")));
+
+        let missing_steps = parse("{\"schema\": \"tgl-insight/v1\", \"unix_ms\": 1, \"stats\": []}");
+        assert!(validate(&missing_steps).unwrap_err().contains("steps"));
+
+        let bad_stat = parse(
+            "{\"schema\": \"tgl-insight/v1\", \"unix_ms\": 1, \"steps\": 1, \
+             \"stats\": [{\"name\": \"x\", \"count\": 1, \"mean\": 0.1, \
+             \"std\": 0.0, \"min\": 0.1, \"max\": 0.1, \"last\": \"nan\"}]}",
+        );
+        assert!(validate(&bad_stat).unwrap_err().contains("last"));
     }
 
     #[test]

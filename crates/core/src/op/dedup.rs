@@ -36,6 +36,7 @@ pub(crate) fn dedup_planned(blk: &TBlock) -> Option<(Vec<NodeId>, Vec<Time>, Vec
     let (uniq_nodes, uniq_times, inverse) = blk.with_dst(compute);
     tgl_obs::counter!("dedup.rows_in").add(inverse.len() as u64);
     tgl_obs::counter!("dedup.rows_saved").add((inverse.len() - uniq_nodes.len()) as u64);
+    tgl_obs::insight::observe_dedup(inverse.len() as u64, (inverse.len() - uniq_nodes.len()) as u64);
     if uniq_nodes.len() == inverse.len() {
         return None; // already unique — nothing to do
     }

@@ -218,6 +218,32 @@ impl HealthMonitor {
         }
     }
 
+    /// Refreshes the `health.grad_norm` and `health.update_ratio`
+    /// gauges after an optimizer step — the same quantities
+    /// [`end_epoch`](HealthMonitor::end_epoch) publishes once per
+    /// epoch, but kept current every step so the time-series sampler
+    /// records them as real per-step series that alert rules can
+    /// target. The update ratio is measured against the epoch-start
+    /// snapshot; it is skipped when no snapshot exists (policy
+    /// [`HealthPolicy::Off`]). Callers gate on
+    /// `tgl_obs::timeseries::enabled()` — this does O(params) work.
+    pub fn record_step_gauges(&self, params: &[Tensor]) {
+        tgl_obs::gauge!("health.grad_norm").set(grad_norm(params));
+        if self.start_params.is_empty() {
+            return;
+        }
+        let (mut start_sq, mut delta_sq) = (0.0f64, 0.0f64);
+        for (p, start) in params.iter().zip(&self.start_params) {
+            let now = p.to_vec();
+            for (&a, &b) in now.iter().zip(start.iter()) {
+                let (a, b) = (f64::from(a), f64::from(b));
+                start_sq += b * b;
+                delta_sq += (a - b) * (a - b);
+            }
+        }
+        tgl_obs::gauge!("health.update_ratio").set(delta_sq.sqrt() / start_sq.sqrt().max(1e-12));
+    }
+
     /// Closes the epoch: publishes `health.grad_norm`,
     /// `health.update_ratio`, `health.loss`, and `health.loss_trend`
     /// gauges and records events for non-finite gradients or

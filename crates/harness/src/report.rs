@@ -7,12 +7,12 @@
 //! the Table 6 redundancy counters for every epoch — the structured
 //! counterpart to the [`MetricLog`](crate::MetricLog) CSV.
 //!
-//! Schema (`"schema": "tgl-run-report/v2"`; v1 lacked `hists`,
-//! `histograms`, `gauges`, and `health`):
+//! Schema (`"schema": "tgl-run-report/v3"`; v1 lacked `hists`,
+//! `histograms`, `gauges`, and `health`; v2 lacked `insight`):
 //!
 //! ```json
 //! {
-//!   "schema": "tgl-run-report/v2",
+//!   "schema": "tgl-run-report/v3",
 //!   "meta": {"model": "tgat", "dataset": "wiki", ...},
 //!   "epochs": [
 //!     {"epoch": 0, "loss": 0.61, "train_s": 1.9, "val_ap": 0.93,
@@ -30,6 +30,10 @@
 //!   "health": {"policy": "warn", "status": "ok", "loss_trend": -0.12,
 //!              "dropped": 0, "events": [{"level": "warn",
 //!              "source": "trainer.loss", "message": "...", "seq": 3}]},
+//!   "insight": {"steps": 36, "series": [
+//!     {"name": "insight.layer.layer0.w_q.grad_norm", "count": 36,
+//!      "mean": 0.21, "std": 0.05, "min": 0.1, "max": 0.4,
+//!      "last": 0.2}, ...]},
 //!   "phases_total_s": {"sample": 1.21, "attention": 1.88, ...},
 //!   "profile": [{"op": "matmul", "phase": "attention", "calls": 96,
 //!                "self_ns": 1.2e9, "flops": 8.1e9, ...}, ...],
@@ -42,7 +46,10 @@
 //! ```
 //!
 //! `critpath` is `null` unless span tracing was enabled for the run
-//! (an additive v2 key; see `tgl_obs::critpath`).
+//! (an additive v2 key; see `tgl_obs::critpath`). `insight` (v3) is
+//! `null` unless the introspection layer recorded at least one step
+//! (see `tgl_obs::insight`); its `series` rows are the same summaries
+//! the standalone `tgl-insight/v1` artifact carries.
 //!
 //! `phases_total_s` sums every epoch's phase drain plus the leftover
 //! captured at finish; `profile` holds the run's per-operator totals
@@ -126,6 +133,11 @@ pub struct RunReport {
     pub gauges: Vec<(String, f64)>,
     /// Training-health summary.
     pub health: HealthSection,
+    /// Introspection-layer per-series summaries (empty unless
+    /// `tgl_obs::insight` was enabled and flushed at least one step).
+    pub insight: Vec<tgl_obs::insight::InsightStat>,
+    /// Steps the insight layer flushed during the run.
+    pub insight_steps: u64,
     /// Whole-run phase seconds: every epoch's drain plus the leftover
     /// captured at finish (test inference etc.), sorted by name.
     pub phases_total_s: Vec<(String, f64)>,
@@ -235,6 +247,42 @@ fn epoch_json(e: &EpochReport) -> Json {
     ])
 }
 
+/// Finite numbers render as numbers; NaN/inf (a diverged layer's stats)
+/// become `null` so the document stays valid JSON.
+fn num_or_null(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else {
+        Json::Null
+    }
+}
+
+/// The `insight` section: `null` when the introspection layer never
+/// flushed a step, otherwise the per-series cumulative summaries.
+fn insight_json(stats: &[tgl_obs::insight::InsightStat], steps: u64) -> Json {
+    if steps == 0 && stats.is_empty() {
+        return Json::Null;
+    }
+    let series = stats
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("count".into(), Json::Num(s.count as f64)),
+                ("mean".into(), num_or_null(s.mean)),
+                ("std".into(), num_or_null(s.std)),
+                ("min".into(), num_or_null(s.min)),
+                ("max".into(), num_or_null(s.max)),
+                ("last".into(), num_or_null(s.last)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("steps".into(), Json::Num(steps as f64)),
+        ("series".into(), Json::Arr(series)),
+    ])
+}
+
 fn health_json(h: &HealthSection) -> Json {
     let events = h
         .events
@@ -262,7 +310,7 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let epochs = self.epochs.iter().map(epoch_json).collect();
         Json::obj(vec![
-            ("schema".into(), Json::Str("tgl-run-report/v2".into())),
+            ("schema".into(), Json::Str("tgl-run-report/v3".into())),
             ("meta".into(), Json::Obj(self.meta.clone())),
             ("epochs".into(), Json::Arr(epochs)),
             (
@@ -292,6 +340,10 @@ impl RunReport {
                 ),
             ),
             ("health".into(), health_json(&self.health)),
+            (
+                "insight".into(),
+                insight_json(&self.insight, self.insight_steps),
+            ),
             (
                 "phases_total_s".into(),
                 Json::Obj(
@@ -425,11 +477,15 @@ impl RunReporter {
         let mut meta = self.meta.clone();
         meta.sort_by(|a, b| a.0.cmp(&b.0));
         Json::obj(vec![
-            ("schema".into(), Json::Str("tgl-run-report/v2".into())),
+            ("schema".into(), Json::Str("tgl-run-report/v3".into())),
             ("in_progress".into(), Json::Bool(true)),
             ("meta".into(), Json::Obj(meta)),
             ("epochs".into(), Json::Arr(self.epochs.iter().map(epoch_json).collect())),
             ("health".into(), health_json(&self.collect_health())),
+            (
+                "insight".into(),
+                insight_json(&tgl_obs::insight::stats(), tgl_obs::insight::steps()),
+            ),
         ])
         .render()
     }
@@ -513,6 +569,8 @@ impl RunReporter {
                 .map(|(n, v)| (n.to_string(), v))
                 .collect(),
             health,
+            insight: tgl_obs::insight::stats(),
+            insight_steps: tgl_obs::insight::steps(),
             phases_total_s,
             profile,
             critpath,
@@ -601,9 +659,11 @@ mod tests {
         let v = Json::parse(&report.to_json()).expect("report must be valid JSON");
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
-            Some("tgl-run-report/v2")
+            Some("tgl-run-report/v3")
         );
         assert!(v.get("histograms").is_some());
+        // Insight was off: the v3 section is present but null.
+        assert!(v.get("insight").is_some());
         assert!(v.get("health").and_then(|h| h.get("status")).is_some());
         let epochs = v.get("epochs").and_then(Json::as_arr).unwrap();
         assert_eq!(epochs.len(), 1);
@@ -674,7 +734,7 @@ mod tests {
         // In-progress publication made /report.json-able JSON.
         let latest = obs::expo::latest_report().expect("report published");
         let v = Json::parse(&latest).unwrap();
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("tgl-run-report/v2"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("tgl-run-report/v3"));
     }
 
     #[test]

@@ -198,6 +198,7 @@ impl Trainer {
                 {
                     let _step = tgl_obs::histogram!("step.latency_ns").timer();
                     let _step_region = tgl_obs::region("step");
+                    tgl_obs::insight::begin_batch();
                     let mut batch = TBatch::new(g.clone(), range);
                     batch.set_negatives(negs.draw(batch.len()));
                     if let Some(loss) =
@@ -208,6 +209,7 @@ impl Trainer {
                     }
                     seen += 1;
                 }
+                tgl_obs::insight::flush_step();
                 Self::step_telemetry(&mut health);
             }
         } else {
@@ -225,12 +227,20 @@ impl Trainer {
                     let mut negs = negs;
                     for range in ranges {
                         let prefetch = tgl_obs::region("prefetch");
+                        // Insight observations made while building this
+                        // batch (negative draw, plan dedup/sampling)
+                        // collect into a bag that travels with the
+                        // batch to the compute thread, so flush order —
+                        // and every derived series — is batch order at
+                        // any pipeline depth.
+                        tgl_obs::insight::begin_batch();
                         let mut batch = TBatch::new(g_sampler.clone(), range);
                         batch.set_negatives(negs.draw(batch.len()));
                         if let Some(spec) = &spec {
                             let plan = tglite::plan::build_plan(ctx, &batch, spec);
                             batch.set_plan(std::sync::Arc::new(plan));
                         }
+                        batch.set_insight(tgl_obs::insight::take_batch());
                         drop(prefetch);
                         tgl_obs::histogram!("pipeline.queue.occupancy").record(tx.len() as u64);
                         let _wait = tgl_obs::histogram!("pipeline.queue.send_wait_ns").timer();
@@ -242,7 +252,7 @@ impl Trainer {
                     }
                 });
                 loop {
-                    let batch = {
+                    let mut batch = {
                         let _wait = tgl_obs::histogram!("pipeline.queue.recv_wait_ns").timer();
                         match rx.recv() {
                             Ok(b) => b,
@@ -252,6 +262,7 @@ impl Trainer {
                     {
                         let _step = tgl_obs::histogram!("step.latency_ns").timer();
                         let _step_region = tgl_obs::region("step");
+                        tgl_obs::insight::install_batch(batch.take_insight());
                         if let Some(loss) =
                             Self::train_step(model, ctx, opt, &mut health, epoch, seen, &batch)
                         {
@@ -260,6 +271,7 @@ impl Trainer {
                         }
                         seen += 1;
                     }
+                    tgl_obs::insight::flush_step();
                     Self::step_telemetry(&mut health);
                 }
             });
@@ -343,9 +355,52 @@ impl Trainer {
             let _b = tglite::prof::scope("backward");
             loss.backward();
         }
+        // Per-parameter-group introspection: gradient norms are read
+        // after backward, pre-step values snapshotted so the update
+        // ratio can be measured across this optimizer step. All on the
+        // compute thread in batch order — series stay thread-count- and
+        // pipeline-depth-invariant.
+        let insight_pre = if tgl_obs::insight::active() {
+            Some(
+                model
+                    .param_groups()
+                    .into_iter()
+                    .map(|(name, ps)| {
+                        let gn = crate::health::grad_norm(&ps);
+                        let before: Vec<Vec<f32>> = ps.iter().map(Tensor::to_vec).collect();
+                        (name, gn, before, ps)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
         {
             let _o = tglite::prof::scope("opt_step");
             opt.step();
+        }
+        if let Some(groups) = insight_pre {
+            for (name, gn, before, ps) in groups {
+                let (mut post_sq, mut pre_sq, mut delta_sq) = (0.0f64, 0.0f64, 0.0f64);
+                for (p, b) in ps.iter().zip(&before) {
+                    let now = p.to_vec();
+                    for (&a, &b) in now.iter().zip(b.iter()) {
+                        let (a, b) = (f64::from(a), f64::from(b));
+                        post_sq += a * a;
+                        pre_sq += b * b;
+                        delta_sq += (a - b) * (a - b);
+                    }
+                }
+                // Same convention as HealthMonitor::end_epoch: the
+                // ratio's denominator is the *pre-step* norm, so a
+                // pathological step reads as a huge ratio instead of
+                // normalizing itself away.
+                let ur = delta_sq.sqrt() / pre_sq.sqrt().max(1e-12);
+                tgl_obs::insight::record_group(&name, gn, post_sq.sqrt(), ur);
+            }
+        }
+        if tgl_obs::timeseries::enabled() {
+            health.record_step_gauges(&model.parameters());
         }
         // Parameter updates invalidate memoized embeddings.
         ctx.clear_caches();

@@ -141,6 +141,14 @@ pub trait TemporalModel {
     /// All trainable parameters.
     fn parameters(&self) -> Vec<Tensor>;
 
+    /// Named parameter groups for per-layer introspection
+    /// (`layer0.w_q`, `predictor`, ...). The default is one whole-model
+    /// group; models override so the insight layer can attribute
+    /// gradient/weight/update stats to a specific component.
+    fn param_groups(&self) -> Vec<(String, Vec<Tensor>)> {
+        vec![("model".to_string(), self.parameters())]
+    }
+
     /// Switches training/inference mode (controls which optimization
     /// operators apply; cache/time-precompute are inference-only).
     fn set_training(&mut self, training: bool);

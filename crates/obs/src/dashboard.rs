@@ -6,8 +6,11 @@
 //! of seconds and renders SVG sparklines (built as DOM nodes, no
 //! libraries) for the headline series — `train.loss`, `val.ap`,
 //! `step.latency_ns.p99`, `pipeline.queue.occupancy` — plus whatever
-//! else the store holds, an alert banner listing firing rules, and a
-//! health badge. Works from `file://` saves too: everything it needs
+//! else the store holds, an alert banner listing firing rules, a
+//! health badge, and — when the introspection layer is on — a
+//! per-layer panel built from `/insight.json` (parameter groups with
+//! their latest gradient norm, weight norm, and update ratio;
+//! non-finite groups sort to the top and are highlighted). Works from `file://` saves too: everything it needs
 //! ships in this one response, which is what "std-only dashboard"
 //! means for a dependency-free workspace.
 
@@ -39,12 +42,18 @@ const PAGE: &str = r#"<!DOCTYPE html>
   svg { display:block; margin-top:4px; }
   polyline { fill:none; stroke:#4aa8ff; stroke-width:1.5; }
   .gap circle { fill:#e86a5d; }
+  #insight table { border-collapse:collapse; margin-top:4px; }
+  #insight th, #insight td { text-align:right; padding:1px 10px 1px 0; }
+  #insight th:first-child, #insight td:first-child { text-align:left; }
+  #insight th { color:#9fb3c8; font-weight:normal; }
+  #insight tr.bad td { color:#e86a5d; font-weight:bold; }
 </style>
 </head>
 <body>
 <h1>tgl dashboard <span id="badge" class="ok">...</span></h1>
 <div id="meta">polling /timeseries.json + /alerts.json every 2s</div>
 <div id="alerts"></div>
+<div id="insight"></div>
 <div id="charts"></div>
 <script>
 "use strict";
@@ -135,6 +144,53 @@ function renderAlerts(doc) {
   });
 }
 
+function renderInsight(doc) {
+  var root = document.getElementById("insight");
+  root.textContent = "";
+  var groups = {};
+  (doc.stats || []).forEach(function (s) {
+    var m = /^insight\.layer\.(.+)\.(grad_norm|weight_norm|update_ratio)$/.exec(s.name);
+    if (!m) return;
+    if (!groups[m[1]]) groups[m[1]] = {};
+    groups[m[1]][m[2]] = s.last;
+  });
+  var names = Object.keys(groups);
+  if (!names.length) return;
+  // Non-finite gradient norms first, then descending norm: the
+  // diverged layer tops the panel.
+  names.sort(function (a, b) {
+    var ka = groups[a].grad_norm, kb = groups[b].grad_norm;
+    ka = (ka === null || !isFinite(ka)) ? Infinity : ka;
+    kb = (kb === null || !isFinite(kb)) ? Infinity : kb;
+    return kb - ka || (a < b ? -1 : 1);
+  });
+  var card = document.createElement("div");
+  card.className = "card";
+  var head = document.createElement("div");
+  head.className = "name";
+  head.textContent = "model introspection (" + (doc.steps || 0) + " steps)";
+  card.appendChild(head);
+  var table = document.createElement("table");
+  var hr = document.createElement("tr");
+  ["group", "grad_norm", "weight_norm", "update_ratio"].forEach(function (h) {
+    var th = document.createElement("th"); th.textContent = h; hr.appendChild(th);
+  });
+  table.appendChild(hr);
+  names.forEach(function (n) {
+    var g = groups[n], tr = document.createElement("tr");
+    var bad = [g.grad_norm, g.weight_norm, g.update_ratio].some(function (v) {
+      return v === null || !isFinite(v);
+    });
+    if (bad) tr.className = "bad";
+    [n, fmt(g.grad_norm), fmt(g.weight_norm), fmt(g.update_ratio)].forEach(function (c) {
+      var td = document.createElement("td"); td.textContent = c; tr.appendChild(td);
+    });
+    table.appendChild(tr);
+  });
+  card.appendChild(table);
+  root.appendChild(card);
+}
+
 function renderHealth(status) {
   var badge = document.getElementById("badge");
   badge.textContent = status;
@@ -144,6 +200,7 @@ function renderHealth(status) {
 function tick() {
   fetchJson("/timeseries.json").then(renderCharts).catch(function () {});
   fetchJson("/alerts.json").then(renderAlerts).catch(function () {});
+  fetchJson("/insight.json").then(renderInsight).catch(function () {});
   fetch("/healthz", {cache: "no-store"})
     .then(function (r) { renderHealth(r.status === 200 ? "ok" : "fail"); })
     .catch(function () { renderHealth("down"); });
@@ -167,6 +224,8 @@ mod tests {
         assert!(page.contains("</html>"));
         assert!(page.contains("/timeseries.json"));
         assert!(page.contains("/alerts.json"));
+        assert!(page.contains("/insight.json"));
+        assert!(page.contains("update_ratio"));
         assert!(page.contains("svg"));
         // Zero external assets: nothing fetched from elsewhere. The
         // only absolute URL allowed is the SVG XML namespace constant,

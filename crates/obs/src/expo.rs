@@ -24,6 +24,9 @@
 //!   `tgl-timeseries/v1` artifact (see [`crate::timeseries`]).
 //! * `GET /alerts.json` — installed SLO rules, their firing state, and
 //!   the transition history as `tgl-alerts/v1` (see [`crate::alert`]).
+//! * `GET /insight.json` — the introspection layer's cumulative
+//!   per-layer and data-quality summaries as `tgl-insight/v1` (see
+//!   [`crate::insight`]; empty `stats` until insight is enabled).
 //! * `GET /dashboard` — a self-contained live HTML dashboard (inline
 //!   JS + SVG sparklines, zero external assets; see
 //!   [`crate::dashboard`]).
@@ -245,6 +248,10 @@ fn handle(mut stream: TcpStream) {
             let body = crate::alert::to_json();
             respond(&mut stream, "200 OK", "application/json", &body);
         }
+        "/insight.json" | "/insight" => {
+            let body = crate::insight::to_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
         "/dashboard" => {
             let delay = TEST_RENDER_DELAY_MS.load(Ordering::Relaxed);
             if delay > 0 {
@@ -265,7 +272,7 @@ fn handle(mut stream: TcpStream) {
             &mut stream,
             "200 OK",
             "text/plain",
-            "tgl metrics server: /metrics /healthz /report.json /profile.json /critpath.json /flight.json /timeseries.json /alerts.json /dashboard /quit\n",
+            "tgl metrics server: /metrics /healthz /report.json /profile.json /critpath.json /flight.json /timeseries.json /alerts.json /insight.json /dashboard /quit\n",
         ),
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
@@ -363,8 +370,41 @@ pub fn start_from_env() -> Option<SocketAddr> {
 ///
 /// Returns connection or protocol errors.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    http_get_timeout(addr, path, Duration::from_secs(5))
+}
+
+/// [`http_get`] with an explicit bound on *every* blocking phase:
+/// address resolution aside, connect, write, and read each time out
+/// after `timeout` instead of hanging a CI scrape on a half-open
+/// listener (the bare `TcpStream::connect` has no deadline at all).
+///
+/// # Errors
+///
+/// Returns connection or protocol errors; timeouts surface as
+/// `TimedOut`/`WouldBlock` errors naming the phase that stalled.
+pub fn http_get_timeout(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr}: no usable socket address"),
+            )
+        })?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("connect to {addr} failed within {timeout:?}: {e}"),
+        )
+    })?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
     write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
     stream.flush()?;
     let mut raw = String::new();
@@ -459,6 +499,10 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"schema\": \"tgl-alerts/v1\""));
 
+        let (code, body) = http_get(&addr, "/insight.json").expect("scrape insight");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"schema\": \"tgl-insight/v1\""));
+
         let (code, body) = http_get(&addr, "/dashboard").expect("scrape dashboard");
         assert_eq!(code, 200);
         assert!(body.starts_with("<!DOCTYPE html>"));
@@ -468,6 +512,18 @@ mod tests {
         let (code, _) = http_get(&addr, "/quit").expect("quit");
         assert_eq!(code, 200);
         assert!(wait_for_quit(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn http_get_timeout_names_the_connect_phase() {
+        // Nothing listens on the port; the refusal (or timeout) must
+        // come back as an error naming the connect phase, not a hang.
+        let err = http_get_timeout("127.0.0.1:1", "/metrics", Duration::from_millis(500))
+            .expect_err("nothing listens on port 1");
+        assert!(
+            err.to_string().contains("connect to 127.0.0.1:1"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

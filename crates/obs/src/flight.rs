@@ -351,6 +351,25 @@ pub fn to_json(reason: &str) -> String {
         }
         out.push(']');
     }
+    // Introspection context: cumulative per-series summaries (steps,
+    // last, max), so a post-mortem still attributes a divergence to a
+    // parameter group even after the retained tail scrolled past the
+    // first bad step.
+    out.push_str("\n  },\n  \"insight\": {");
+    let _ = write!(out, "\n    \"steps\": {},\n    \"stats\": {{", crate::insight::steps());
+    for (i, s) in crate::insight::stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n      \"");
+        esc(&s.name, &mut out);
+        out.push_str("\": {\"last\": ");
+        crate::timeseries::json_num(s.last, &mut out);
+        out.push_str(", \"max\": ");
+        crate::timeseries::json_num(s.max, &mut out);
+        let _ = write!(out, ", \"count\": {}}}", s.count);
+    }
+    out.push_str("\n    }");
     out.push_str("\n  },\n  \"health\": {");
     let worst = crate::health::worst();
     let _ = write!(
@@ -473,6 +492,8 @@ mod tests {
         assert!(json.contains("\"flight.test.level\": 3.5"));
         assert!(json.contains("\"timeseries\": {"));
         assert!(json.contains("\"flight.test.series\": ["));
+        // The insight section is always present, empty when off.
+        assert!(json.contains("\"insight\": {"));
         crate::timeseries::enable(false);
     }
 

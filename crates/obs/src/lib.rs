@@ -69,6 +69,13 @@
 //!   sparklines over `/timeseries.json`, alert banner, health badge,
 //!   zero external assets.
 //!
+//! * [`insight`] — model & data introspection: per-parameter-group
+//!   gradient/weight/update stats, dead-ReLU fractions, and
+//!   temporal-data quality (memory staleness, neighbor time-deltas,
+//!   negative-sampling collisions, dedup effectiveness, mailbox depth)
+//!   collected into a per-batch bag and flushed as deterministic
+//!   `insight.*` series plus a `tgl-insight/v1` artifact.
+//!
 //! A single [`span`] guard feeds all sinks: phase aggregation when
 //! profiling is enabled, span events when tracing is enabled, and the
 //! flight recorder's ring (on by default; `TGL_FLIGHT=off` disables).
@@ -97,6 +104,7 @@ pub mod expo;
 pub mod flight;
 pub mod health;
 pub mod hist;
+pub mod insight;
 pub mod intern;
 pub mod metrics;
 pub mod phase;

@@ -297,6 +297,25 @@ pub fn record(name: &'static str, value: f64) {
     series(name).push(value);
 }
 
+/// Appends one point to the push series `name`, registering the series
+/// under an owned (leaked-once) name on first use — for dynamically
+/// composed series like the per-parameter-group `insight.*` family.
+/// No-op while the store is disabled; an existing registration costs no
+/// allocation.
+pub fn record_owned(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let s = {
+        let mut store = STORE.lock().unwrap_or_else(|e| e.into_inner());
+        match store.by_name.get(name) {
+            Some(&s) => s,
+            None => store.get_or_insert_owned(name.to_string(), Kind::Push),
+        }
+    };
+    s.push(value);
+}
+
 /// One sampling pass over every registered counter (delta), gauge
 /// (raw), and non-empty histogram (p50/p99 quantile series). No-op
 /// while disabled. Called per training step by the harness and on a

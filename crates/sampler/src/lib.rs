@@ -207,6 +207,20 @@ impl TemporalSampler {
                 }
             });
         }
+        // Serial post-pass over the (thread-invariant) output: the
+        // sampled-neighbor time-delta distribution is a data-quality
+        // signal ("how far back is this batch attending"), observed
+        // here so both the inline and the plan-building paths feed it
+        // exactly once per query.
+        if tgl_obs::insight::active() {
+            let dts: Vec<f64> = out
+                .dst_index
+                .iter()
+                .zip(&out.src_times)
+                .map(|(&d, &st)| dst_times[d] - st)
+                .collect();
+            tgl_obs::insight::observe_nbr_dt(&dts);
+        }
         out
     }
 

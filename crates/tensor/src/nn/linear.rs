@@ -48,10 +48,12 @@ impl Linear {
     /// `forward(x).relu()` would allocate and capture for backward.
     pub fn forward_relu(&self, x: &Tensor) -> Tensor {
         let y = x.matmul(&self.weight.transpose());
-        match &self.bias {
+        let out = match &self.bias {
             Some(b) => y.add_relu(b),
             None => y.relu(),
-        }
+        };
+        crate::nn::observe_relu_zeros(&out);
+        out
     }
 
     /// Input feature count.
@@ -85,6 +87,14 @@ impl Module for Linear {
         let mut p = vec![self.weight.clone()];
         if let Some(b) = &self.bias {
             p.push(b.clone());
+        }
+        p
+    }
+
+    fn named_parameters(&self) -> Vec<(String, Tensor)> {
+        let mut p = vec![("weight".to_string(), self.weight.clone())];
+        if let Some(b) = &self.bias {
+            p.push(("bias".to_string(), b.clone()));
         }
         p
     }

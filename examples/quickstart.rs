@@ -32,7 +32,12 @@
 //! through the `--health <off|warn|fail>` policy (`TGL_HEALTH`) and
 //! summarized at end of run; `--lr <F>` overrides the Adam learning
 //! rate (handy for deliberately diverging a run to watch an alert
-//! fire).
+//! fire). `--insight` turns on the model & data introspection layer
+//! (per-parameter-group gradient/weight norms and update ratios,
+//! dead-activation fractions, memory staleness, neighbor time-delta
+//! spread, negative-sampling collisions, dedup effectiveness) and
+//! prints the per-layer table at end of run; `--insight-out <PATH>`
+//! also writes the `tgl-insight/v1` artifact.
 //! `--kernel <exact|fast>` (or `TGL_KERNEL`) selects the tensor
 //! kernel contract: `exact` (default) is bitwise identical to the
 //! scalar reference kernels, `fast` enables the FMA/vector-exp SIMD
@@ -123,6 +128,14 @@ fn main() {
         // sampler so it keeps moving between (and after) train steps.
         tglite::obs::timeseries::enable(true);
         tglite::obs::timeseries::start_sampler(500);
+    }
+    let insight_out = arg_value("--insight-out").map(std::path::PathBuf::from);
+    let insight = arg_flag("--insight") || insight_out.is_some();
+    if insight {
+        // Insight series flow through the time-series store, so the
+        // flag implies retention (same as --slo).
+        tglite::obs::insight::enable(true);
+        tglite::obs::timeseries::enable(true);
     }
 
     // 1. A continuous-time dynamic graph. Here: a synthetic stream
@@ -279,6 +292,13 @@ fn main() {
     if let Some(path) = arg_value("--flight-out") {
         std::fs::write(&path, tglite::obs::flight::to_json("request")).expect("write flight dump");
         println!("flight dump written to {path}");
+    }
+    if insight {
+        print!("{}", tglite::obs::insight::render_table(8));
+        if let Some(path) = &insight_out {
+            std::fs::write(path, tglite::obs::insight::to_json()).expect("write insight artifact");
+            println!("insight artifact written to {}", path.display());
+        }
     }
 
     // The learning signal needs the full-size stream, all epochs, and

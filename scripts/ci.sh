@@ -96,7 +96,7 @@ echo "==> live /metrics exposition + scrape check (with SLO rules + dashboard)"
 QS_LOG="$OBS_DIR/serve.log"
 TGL_THREADS=2 ./target/release/quickstart \
     --scale 16 --epochs 1 --move --pipeline 2 \
-    --slo examples/slo.rules \
+    --slo examples/slo.rules --insight \
     --serve-metrics 127.0.0.1:0 --serve-hold >"$QS_LOG" 2>&1 &
 QS_PID=$!
 # The dashboard must serve while training is still running, so grab
@@ -151,10 +151,19 @@ grep -q '"schema": "tgl-alerts/v1"' "$OBS_DIR/alerts.json" \
     || { echo "alerts export missing its schema tag"; exit 1; }
 grep -q '"installed": true' "$OBS_DIR/alerts.json" \
     || { echo "alerts export shows no installed rules"; exit 1; }
-# The pipelined run must expose its depth gauge, queue telemetry, and
-# the alert engine's metric families.
+# The live /insight.json endpoint must serve the introspection summary
+# with its schema tag while the run holds.
+./target/release/tgl get "$ADDR" /insight.json >"$OBS_DIR/insight-live.json" \
+    || { cat "$QS_LOG"; kill "$QS_PID" 2>/dev/null || true; exit 1; }
+./target/release/tgl jsoncheck "$OBS_DIR/insight-live.json"
+grep -q '"schema": "tgl-insight/v1"' "$OBS_DIR/insight-live.json" \
+    || { echo "/insight.json missing its schema tag"; exit 1; }
+grep -q '"name": "insight.layer.' "$OBS_DIR/insight-live.json" \
+    || { echo "/insight.json carries no per-layer series"; exit 1; }
+# The pipelined run must expose its depth gauge, queue telemetry, the
+# alert engine's metric families, and the introspection gauges.
 ./target/release/tgl promcheck "$ADDR" --min-hist 5 \
-    --require tgl_pipeline_depth,tgl_pipeline_queue_occupancy,tgl_pipeline_queue_send_wait_ns,tgl_pipeline_queue_recv_wait_ns,tgl_alerts_evaluations_total,tgl_alerts_fired_total,tgl_alerts_firing \
+    --require tgl_pipeline_depth,tgl_pipeline_queue_occupancy,tgl_pipeline_queue_send_wait_ns,tgl_pipeline_queue_recv_wait_ns,tgl_alerts_evaluations_total,tgl_alerts_fired_total,tgl_alerts_firing,tgl_insight_steps_total,tgl_insight_grad_norm_max,tgl_insight_update_ratio_max,tgl_insight_neg_collision_rate,tgl_insight_dead_frac_max \
     --quit \
     || { cat "$QS_LOG"; kill "$QS_PID" 2>/dev/null || true; exit 1; }
 wait "$QS_PID"
@@ -189,6 +198,27 @@ grep -q '"reason": "alert-fail"' "$ALERT_DUMP" \
     || { echo "flight dump reason is not alert-fail"; exit 1; }
 grep -q '"timeseries"' "$ALERT_DUMP" \
     || { echo "flight dump carries no time-series trajectory"; exit 1; }
+
+echo "==> model & data introspection (--insight table + tgl-insight/v1 artifact)"
+INS_LOG="$OBS_DIR/insight.log"
+TGL_THREADS=2 ./target/release/quickstart \
+    --scale 8 --epochs 1 --insight --insight-out "$OBS_DIR/insight.json" >"$INS_LOG" 2>&1 \
+    || { cat "$INS_LOG"; exit 1; }
+./target/release/tgl jsoncheck "$OBS_DIR/insight.json"
+grep -q '"schema": "tgl-insight/v1"' "$OBS_DIR/insight.json" \
+    || { echo "insight artifact missing tgl-insight/v1 schema"; exit 1; }
+# The artifact must carry per-parameter-group and data-quality series.
+grep -q '"name": "insight.layer.layer0.w_q.grad_norm"' "$OBS_DIR/insight.json" \
+    || { echo "insight artifact missing layer0.w_q grad norm"; exit 1; }
+grep -q '"name": "insight.data.nbr_dt.mean"' "$OBS_DIR/insight.json" \
+    || { echo "insight artifact missing neighbor time-delta series"; exit 1; }
+# The console table must name per-layer parameter groups.
+grep -q "model introspection" "$INS_LOG" \
+    || { echo "--insight printed no model table"; cat "$INS_LOG"; exit 1; }
+grep -Eq "^  layer[0-9]+\.[a-z_]+ " "$INS_LOG" \
+    || { echo "--insight table carries no per-layer row"; cat "$INS_LOG"; exit 1; }
+grep -q "data introspection" "$INS_LOG" \
+    || { echo "--insight printed no data-quality table"; cat "$INS_LOG"; exit 1; }
 
 echo "==> allocation churn smoke (pool on vs off, bitwise loss guard)"
 cargo bench --offline -q -p tgl-bench --bench alloc_churn

@@ -131,7 +131,7 @@ fn run_report_names_figure7_phases_and_roundtrips_as_json() {
     let doc = Json::parse(&rendered).expect("run report must be valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("tgl-run-report/v2")
+        Some("tgl-run-report/v3")
     );
     let epochs = doc.get("epochs").and_then(Json::as_arr).expect("epochs");
     assert_eq!(epochs.len(), 1);
@@ -233,7 +233,7 @@ fn live_metrics_endpoint_and_v2_report_cover_latency_histograms() {
     let pdoc = Json::parse(&rjson).expect("published report must be valid JSON");
     assert_eq!(
         pdoc.get("schema").and_then(Json::as_str),
-        Some("tgl-run-report/v2")
+        Some("tgl-run-report/v3")
     );
 }
 
